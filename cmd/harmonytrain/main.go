@@ -1,0 +1,231 @@
+// Command harmonytrain runs *real* training (float32 math, actual
+// data movement) through Harmony's coherent virtual memory on
+// capacity-limited virtual devices — the executable counterpart of
+// the simulator CLI. It trains a classifier on a synthetic dataset,
+// reports loss and accuracy, and can checkpoint/resume.
+//
+// Examples:
+//
+//	harmonytrain -arch mlp -widths 784,256,128,10 -devices 2 -device-mem 1048576 -steps 50
+//	harmonytrain -arch lenet -mode harmony-pp -devices 2 -steps 30
+//	harmonytrain -arch mlp -save model.ckpt -steps 20
+//	harmonytrain -arch mlp -load model.ckpt -steps 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"harmony"
+	"harmony/internal/nn"
+)
+
+func main() {
+	var (
+		arch      = flag.String("arch", "mlp", "mlp or lenet")
+		widthsArg = flag.String("widths", "256,128,64,10", "mlp layer widths (input,...,classes)")
+		modeName  = flag.String("mode", "harmony-pp", "dp-baseline, harmony-dp, pp-baseline, harmony-pp")
+		devices   = flag.Int("devices", 2, "virtual device count")
+		deviceMem = flag.Int64("device-mem", 0, "per-device memory bytes (0 = half the footprint)")
+		batch     = flag.Int("batch", 32, "per-replica batch size")
+		steps     = flag.Int("steps", 40, "training iterations")
+		adam      = flag.Bool("adam", true, "use Adam (SGD otherwise)")
+		noise     = flag.Float64("noise", 1.5, "dataset difficulty (blob noise)")
+		seed      = flag.Uint64("seed", 1, "weight and data seed")
+		savePath  = flag.String("save", "", "write a checkpoint here after training")
+		loadPath  = flag.String("load", "", "restore this checkpoint before training")
+	)
+	flag.Parse()
+
+	mode := map[string]harmony.Mode{
+		"dp-baseline": harmony.DPBaseline,
+		"harmony-dp":  harmony.HarmonyDP,
+		"pp-baseline": harmony.PPBaseline,
+		"harmony-pp":  harmony.HarmonyPP,
+	}[*modeName]
+
+	var (
+		tr      *harmony.Trainer
+		err     error
+		inDim   int
+		classes int
+	)
+	cfg := harmony.TrainerConfig{
+		Mode: mode, Devices: *devices, BatchSize: *batch,
+		Adam: *adam, Seed: *seed,
+	}
+	switch *arch {
+	case "lenet":
+		inDim, classes = 32*32, 10
+		// LeNet's fc1 dominates: its update working set (W + dW +
+		// optimizer state) must fit on one device.
+		cfg.DeviceBytes = pickMem(*deviceMem, defaultMem(48120, footprintLeNet(*adam), *adam))
+		tr, err = harmony.NewLeNetTrainer(cfg)
+	case "mlp":
+		widths, perr := parseWidths(*widthsArg)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "harmonytrain: %v\n", perr)
+			os.Exit(2)
+		}
+		inDim, classes = widths[0], widths[len(widths)-1]
+		cfg.Widths = widths
+		var largest int64
+		for i := 0; i+1 < len(widths); i++ {
+			if p := int64(widths[i]*widths[i+1] + widths[i+1]); p > largest {
+				largest = p
+			}
+		}
+		cfg.DeviceBytes = pickMem(*deviceMem, defaultMem(largest, footprintGuess(widths, *adam), *adam))
+		tr, err = harmony.NewTrainer(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "harmonytrain: unknown arch %q\n", *arch)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harmonytrain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("arch %s, %s on %d virtual devices of %s (model footprint %s)\n",
+		*arch, mode, *devices, sizeOf(cfg.DeviceBytes), sizeOf(tr.FootprintBytes()))
+
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harmonytrain: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.Load(f); err != nil {
+			fmt.Fprintf(os.Stderr, "harmonytrain: load: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("restored checkpoint %s\n", *loadPath)
+	}
+
+	blobs := harmony.NewBlobs(inDim, classes, float32(*noise), *seed+7)
+	for s := 0; s < *steps; s++ {
+		x, y := blobs.Batch(tr.SamplesPerStep(), uint64(s))
+		loss, err := tr.Step(x, y)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harmonytrain: step %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		if s%10 == 0 || s == *steps-1 {
+			fmt.Printf("step %4d  loss %.4f\n", s, loss)
+		}
+	}
+
+	// Held-out accuracy.
+	correct, total := 0, 0
+	for b := 0; b < 4; b++ {
+		x, y := blobs.Batch(64, uint64(1_000_000+b))
+		logits, err := tr.Predict(x, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harmonytrain: %v\n", err)
+			os.Exit(1)
+		}
+		for i := 0; i < 64; i++ {
+			if nn.Argmax(logits, i, classes) == y[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	st := tr.Stats()
+	fmt.Printf("accuracy %.1f%% on %d held-out samples\n", 100*float64(correct)/float64(total), total)
+	fmt.Printf("virtual-memory traffic: %.1f MB in, %.1f MB out, %.1f MB p2p, %d drops\n",
+		float64(st.SwapInBytes)/(1<<20), float64(st.SwapOutBytes)/(1<<20),
+		float64(st.P2PBytes)/(1<<20), st.Drops)
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harmonytrain: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.Save(f); err != nil {
+			fmt.Fprintf(os.Stderr, "harmonytrain: save: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("checkpoint written to %s\n", *savePath)
+	}
+}
+
+func parseWidths(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("need at least input and class widths, got %q", s)
+	}
+	widths := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad width %q", p)
+		}
+		widths[i] = v
+	}
+	return widths, nil
+}
+
+func pickMem(flagVal, fallback int64) int64 {
+	if flagVal > 0 {
+		return flagVal
+	}
+	if fallback < 16<<10 {
+		fallback = 16 << 10
+	}
+	return fallback
+}
+
+// defaultMem picks a device size that exercises swapping (below the
+// footprint) but keeps the largest layer's update feasible.
+func defaultMem(largestParams, footprint int64, adam bool) int64 {
+	mult := int64(2)
+	if adam {
+		mult = 4
+	}
+	updSet := largestParams*4*mult + 96<<10 // update working set + activation slack
+	half := footprint / 2
+	if half > updSet {
+		return half
+	}
+	return updSet
+}
+
+// footprintLeNet is LeNet-5's persistent byte count.
+func footprintLeNet(adam bool) int64 {
+	mult := int64(2)
+	if adam {
+		mult = 4
+	}
+	return 61706 * 4 * mult
+}
+
+// footprintGuess estimates persistent bytes for an MLP so the default
+// device size creates real memory pressure without infeasibility.
+func footprintGuess(widths []int, adam bool) int64 {
+	var params int64
+	for i := 0; i+1 < len(widths); i++ {
+		params += int64(widths[i]*widths[i+1] + widths[i+1])
+	}
+	mult := int64(2)
+	if adam {
+		mult = 4
+	}
+	return params * 4 * mult
+}
+
+func sizeOf(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+}

@@ -1,0 +1,74 @@
+// bert_dp reproduces the Fig. 2(a) scenario interactively: BERT-class
+// data-parallel training with per-GPU memory virtualization across
+// GPU counts, showing the swap bottleneck on the shared host link,
+// then the Harmony-DP fix.
+//
+//	go run ./examples/bert_dp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harmony"
+)
+
+func main() {
+	model := harmony.BERT48()
+	fmt.Printf("BERT-48 data-parallel scaling (batch 5 per GPU, footprint %.1f GiB vs 11 GiB GPUs)\n\n",
+		model.PersistentGB())
+	fmt.Printf("%-6s | %22s | %22s | %s\n", "GPUs",
+		"baseline thr / swapGB", "harmony-dp thr / swapGB", "harmony-dp advantage")
+
+	for _, n := range []int{1, 2, 3, 4} {
+		server := harmony.CommodityServer(n)
+		base, err := harmony.Simulate(harmony.SimConfig{
+			Model: model, Mode: harmony.DPBaseline, Server: server,
+			MicrobatchSize: 5, Microbatches: 1,
+		})
+		if err != nil {
+			log.Fatalf("baseline n=%d: %v", n, err)
+		}
+		// Harmony decomposes the same per-GPU batch into 5 microbatches
+		// so input-batch grouping has a window to work with.
+		hdp, err := harmony.Simulate(harmony.SimConfig{
+			Model: model, Mode: harmony.HarmonyDP, Server: server,
+			MicrobatchSize: 1, Microbatches: 5,
+		})
+		if err != nil {
+			log.Fatalf("harmony n=%d: %v", n, err)
+		}
+		fmt.Printf("%-6d | %9.3f / %9.1f | %9.3f / %10.1f | %.2fx faster, %.1fx less swap\n",
+			n, base.Throughput, base.SwapGB(), hdp.Throughput, hdp.SwapGB(),
+			hdp.Throughput/base.Throughput, base.SwapGB()/hdp.SwapGB())
+	}
+	fmt.Println("\nnote the baseline's swap volume growing linearly with GPU count while")
+	fmt.Println("its throughput saturates: the shared PCIe host link is the bottleneck (Fig. 2(b)).")
+
+	// With gradient accumulation (m microbatches per iteration) the
+	// baseline re-swaps weights every microbatch — the (4m+2)|W| of
+	// §3 — while Harmony's grouping stays at 3|W|: the gap widens
+	// with m exactly as the analytical model predicts.
+	fmt.Println("\ngradient accumulation on 2 GPUs (batch 1 × m microbatches):")
+	fmt.Printf("%-4s | %22s | %22s | %s\n", "m", "baseline thr / swapGB", "harmony-dp thr / swapGB", "ratio")
+	for _, m := range []int{2, 4, 8} {
+		server := harmony.CommodityServer(2)
+		base, err := harmony.Simulate(harmony.SimConfig{
+			Model: model, Mode: harmony.DPBaseline, Server: server,
+			MicrobatchSize: 1, Microbatches: m,
+		})
+		if err != nil {
+			log.Fatalf("accum baseline m=%d: %v", m, err)
+		}
+		hdp, err := harmony.Simulate(harmony.SimConfig{
+			Model: model, Mode: harmony.HarmonyDP, Server: server,
+			MicrobatchSize: 1, Microbatches: m,
+		})
+		if err != nil {
+			log.Fatalf("accum harmony m=%d: %v", m, err)
+		}
+		fmt.Printf("%-4d | %9.3f / %9.1f | %9.3f / %10.1f | %.2fx faster, %.1fx less swap\n",
+			m, base.Throughput, base.SwapGB(), hdp.Throughput, hdp.SwapGB(),
+			hdp.Throughput/base.Throughput, base.SwapGB()/hdp.SwapGB())
+	}
+}

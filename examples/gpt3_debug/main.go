@@ -1,0 +1,53 @@
+// gpt3_debug demonstrates the paper's §4 feasibility argument at its
+// extreme: GPT-3 (175 B parameters, 700 GB of fp32 weights) cannot
+// even schedule one training iteration at layer granularity on a
+// 4×11 GiB commodity box — a single layer's backward working set is
+// 18.6 GiB. Decomposing individual operations into per-GPU subtasks
+// (the paper's second key idea) makes the iteration schedulable, so a
+// researcher can *develop and debug* the model locally even though
+// pre-training it here would take centuries.
+//
+//	go run ./examples/gpt3_debug
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harmony"
+	"harmony/internal/models"
+)
+
+func main() {
+	model := harmony.CustomModel(models.GPT3())
+	server := harmony.CommodityServer(4)
+	fmt.Printf("GPT-3: %.0f GiB persistent footprint vs %d GPUs × 11 GiB\n\n",
+		model.PersistentGB(), server.GPUs())
+
+	// Layer-granularity pipeline: infeasible.
+	_, err := harmony.Simulate(harmony.SimConfig{
+		Model: model, Mode: harmony.HarmonyPP, Server: server,
+		MicrobatchSize: 1, Microbatches: 4,
+		Toggles: &harmony.Toggles{GroupSize: 1, WaveInterleave: harmony.Bool(true)},
+	})
+	if err == nil {
+		log.Fatal("expected layer-granularity scheduling to fail")
+	}
+	fmt.Printf("layer-granularity tasks: %v\n\n", err)
+
+	// Operation-decomposed (intra-op sharded): feasible.
+	rep, err := harmony.Simulate(harmony.SimConfig{
+		Model: model, Mode: harmony.HarmonyTP, Server: server,
+		MicrobatchSize: 1, Microbatches: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("op-decomposed subtasks (key idea #2): one debug iteration = %.0f s (%.1f min)\n",
+		rep.IterSeconds, rep.IterSeconds/60)
+	fmt.Printf("swap traffic %.0f GiB/iter — the host memory holds the model, the GPUs stream it\n\n",
+		rep.SwapGB())
+	fmt.Println("matches §4: Harmony \"can still enable the development and debugging of such")
+	fmt.Println("models on modest deployments (before they are deployed for pre-training at a")
+	fmt.Println("larger scale)\" — while pre-training here would take centuries (see -fig ext5).")
+}

@@ -1,0 +1,105 @@
+package analytic
+
+import (
+	"testing"
+
+	"harmony/internal/graph"
+	"harmony/internal/hw"
+	"harmony/internal/models"
+	"harmony/internal/runtime"
+	"harmony/internal/sched"
+	"harmony/internal/tensor"
+)
+
+// crossMeasure runs the §3 idealized workload and returns steady-state
+// per-iteration swap volume (in+out) for one tensor kind, in bytes.
+func crossMeasure(t *testing.T, mode sched.Mode, m, n int, kind tensor.Kind) int64 {
+	t.Helper()
+	model := models.Uniform("xc", 16, 1000, 4096, 1e9)
+	replicas := n
+	if mode.IsPipeline() {
+		replicas = 1
+	}
+	g, err := graph.Build(graph.Config{Model: model, MicrobatchSize: 1, Microbatches: m, Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sched.DefaultOptions(mode)
+	opts.DeferBlockedUpdates = false // the idealized Fig. 5(c) timeline
+	s, err := sched.Build(g, opts, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := hw.Commodity1080TiBox(n)
+	box.GPUMemBytes = 22 << 10
+	res, err := runtime.Run(runtime.Config{Box: box, Schedule: s, WarmupIters: 2, MeasureIters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vol int64
+	for d := 0; d < n; d++ {
+		vol += res.PerDev[d].KindSwapIn[kind] + res.PerDev[d].KindSwapOut[kind]
+	}
+	return vol / 4 // warmup + measured iterations, steady state
+}
+
+func within(t *testing.T, name string, got, want int64, tol float64) {
+	t.Helper()
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	if d > tol*float64(want) {
+		t.Errorf("%s: simulated %d vs analytic %d (%.1f%% off, tol %.0f%%)",
+			name, got, want, 100*d/float64(want), 100*tol)
+	}
+}
+
+// The full Fig. 5(a) tensor-class model, not just weights: simulated
+// gradient-buffer and optimizer-state volumes must match the closed
+// forms for both the baseline and Harmony.
+func TestPerKindVolumesMatchAnalytic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	model := models.Uniform("xc", 16, 1000, 4096, 1e9)
+	for _, m := range []int{2, 4} {
+		p := FromModel(model, 1, m, 1)
+
+		// Weight gradients dW: (2m+2)|W| baseline, 2|W| Harmony.
+		got := crossMeasure(t, sched.DPBaseline, m, 1, tensor.WeightGrad)
+		within(t, "baseline dW", got, GradVolumeIdeal(DPBaseline, p), 0.10)
+		got = crossMeasure(t, sched.HarmonyDP, m, 1, tensor.WeightGrad)
+		within(t, "harmony dW", got, GradVolumeIdeal(HarmonyDP, p), 0.10)
+
+		// Optimizer state K: 2|K| regardless of mode.
+		got = crossMeasure(t, sched.DPBaseline, m, 1, tensor.OptState)
+		within(t, "baseline K", got, OptStateVolumeIdeal(DPBaseline, p), 0.10)
+		got = crossMeasure(t, sched.HarmonyDP, m, 1, tensor.OptState)
+		within(t, "harmony K", got, OptStateVolumeIdeal(HarmonyDP, p), 0.10)
+
+		// Stash: 2m|S| in both modes (inherent to virtualization).
+		got = crossMeasure(t, sched.DPBaseline, m, 1, tensor.Stash)
+		within(t, "baseline stash", got, StashVolumeIdeal(DPBaseline, p), 0.15)
+	}
+}
+
+// Speedup factors for the paper's headline configuration must match
+// exactly what the simulator delivers (weight class, end to end).
+func TestSpeedupMatchesSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	m := 4
+	baseW := crossMeasure(t, sched.DPBaseline, m, 1, tensor.Weight)
+	harmW := crossMeasure(t, sched.HarmonyDP, m, 1, tensor.Weight)
+	gotSpeedup := float64(baseW) / float64(harmW)
+	wantSpeedup := float64(4*m+2) / 3 // = 6
+	d := gotSpeedup - wantSpeedup
+	if d < 0 {
+		d = -d
+	}
+	if d > 0.1*wantSpeedup {
+		t.Fatalf("simulated weight-swap speedup %.2f, paper predicts %.2f", gotSpeedup, wantSpeedup)
+	}
+}

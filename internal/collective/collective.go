@@ -1,0 +1,228 @@
+// Package collective implements collective communication over the
+// simulated topology: ring all-reduce (the gradient averaging of
+// data-parallel training, NCCL-style) and broadcast. Harmony inserts
+// these transparently to preserve the semantics of the original tasks
+// (paper §1).
+package collective
+
+import (
+	"fmt"
+
+	"harmony/internal/hw"
+	"harmony/internal/sim"
+)
+
+// RingAllReduce reduces-and-broadcasts `bytes` per replica across the
+// given devices using the standard 2·(N−1)-step ring algorithm with
+// chunks of bytes/N. Each step is a barrier: all N concurrent chunk
+// transfers of a step finish before the next step starts (matching
+// NCCL's synchronous ring). done fires when the result is available
+// on every device.
+//
+// Per-device traffic is 2·(N−1)/N·bytes in each direction, so the
+// simulated duration reflects both link contention and the algorithm's
+// latency structure.
+func RingAllReduce(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(at sim.Time)) error {
+	n := len(devs)
+	if n == 0 {
+		return fmt.Errorf("collective: all-reduce over zero devices")
+	}
+	if bytes < 0 {
+		return fmt.Errorf("collective: negative payload %d", bytes)
+	}
+	if n == 1 {
+		// Nothing to reduce across; complete immediately.
+		top.Eng.After(0, func() { done(top.Eng.Now()) })
+		return nil
+	}
+	for _, d := range devs {
+		if d == hw.Host {
+			return fmt.Errorf("collective: host cannot participate in all-reduce")
+		}
+	}
+	chunk := bytes / int64(n)
+	if chunk == 0 {
+		chunk = 1
+	}
+	steps := 2 * (n - 1)
+	var runStep func(step int)
+	runStep = func(step int) {
+		if step == steps {
+			done(top.Eng.Now())
+			return
+		}
+		remaining := n
+		for i := 0; i < n; i++ {
+			src := devs[i]
+			dst := devs[(i+1)%n]
+			if err := sendChunk(top, src, dst, chunk, func(sim.Time) {
+				remaining--
+				if remaining == 0 {
+					runStep(step + 1)
+				}
+			}); err != nil {
+				// Ring construction was validated up front; a
+				// transfer error here is a topology bug.
+				panic(err)
+			}
+		}
+	}
+	// Validate every ring edge is routable before starting.
+	for i := 0; i < n; i++ {
+		src, dst := devs[i], devs[(i+1)%n]
+		if src == dst {
+			return fmt.Errorf("collective: duplicate device %s in ring", src)
+		}
+		if !top.CanP2P(src, dst) {
+			// Host-bounced edges are always routable; nothing to
+			// check.
+			continue
+		}
+		if _, err := top.TransferTime(src, dst, 1); err != nil {
+			return err
+		}
+	}
+	runStep(0)
+	return nil
+}
+
+// sendChunk moves a chunk directly over p2p when available, otherwise
+// bounces it through host memory as two transfers.
+func sendChunk(top *hw.Topology, src, dst hw.DeviceID, bytes int64, done func(at sim.Time)) error {
+	if top.CanP2P(src, dst) {
+		return top.Transfer(src, dst, bytes, done)
+	}
+	return top.Transfer(src, hw.Host, bytes, func(sim.Time) {
+		if err := top.Transfer(hw.Host, dst, bytes, done); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// RingAllGather distributes each device's shard (bytes/N) to every
+// other device using the N−1-step ring algorithm, so every device
+// ends with the full `bytes` payload. Per-device traffic is
+// (N−1)/N·bytes each direction. done fires when the last device has
+// the full result. This is the collective behind intra-op sharding:
+// partial layer outputs are gathered into full activations.
+func RingAllGather(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(at sim.Time)) error {
+	n := len(devs)
+	if n == 0 {
+		return fmt.Errorf("collective: all-gather over zero devices")
+	}
+	if bytes < 0 {
+		return fmt.Errorf("collective: negative payload %d", bytes)
+	}
+	if n == 1 {
+		top.Eng.After(0, func() { done(top.Eng.Now()) })
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if devs[i] == hw.Host {
+			return fmt.Errorf("collective: host cannot participate in all-gather")
+		}
+		if devs[i] == devs[(i+1)%n] {
+			return fmt.Errorf("collective: duplicate device %s in ring", devs[i])
+		}
+	}
+	chunk := bytes / int64(n)
+	if chunk == 0 {
+		chunk = 1
+	}
+	steps := n - 1
+	var runStep func(step int)
+	runStep = func(step int) {
+		if step == steps {
+			done(top.Eng.Now())
+			return
+		}
+		remaining := n
+		for i := 0; i < n; i++ {
+			src, dst := devs[i], devs[(i+1)%n]
+			if err := sendChunk(top, src, dst, chunk, func(sim.Time) {
+				remaining--
+				if remaining == 0 {
+					runStep(step + 1)
+				}
+			}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	runStep(0)
+	return nil
+}
+
+// Broadcast copies `bytes` from root to every other device,
+// concurrently. done fires when the slowest receiver has the payload.
+func Broadcast(top *hw.Topology, root hw.DeviceID, devs []hw.DeviceID, bytes int64, done func(at sim.Time)) error {
+	if bytes < 0 {
+		return fmt.Errorf("collective: negative payload %d", bytes)
+	}
+	targets := 0
+	for _, d := range devs {
+		if d != root {
+			targets++
+		}
+	}
+	if targets == 0 {
+		top.Eng.After(0, func() { done(top.Eng.Now()) })
+		return nil
+	}
+	remaining := targets
+	for _, d := range devs {
+		if d == root {
+			continue
+		}
+		if err := sendChunk(top, root, d, bytes, func(sim.Time) {
+			remaining--
+			if remaining == 0 {
+				done(top.Eng.Now())
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllReduceTime estimates the uncontended duration of a ring
+// all-reduce (for analytical cross-checks): 2·(N−1) steps of one
+// chunk transfer each, assuming all steps proceed at the slowest
+// ring edge.
+func AllReduceTime(top *hw.Topology, devs []hw.DeviceID, bytes int64) (sim.Time, error) {
+	n := len(devs)
+	if n <= 1 {
+		return 0, nil
+	}
+	chunk := bytes / int64(n)
+	if chunk == 0 {
+		chunk = 1
+	}
+	var worst sim.Time
+	for i := 0; i < n; i++ {
+		src, dst := devs[i], devs[(i+1)%n]
+		var step sim.Time
+		if top.CanP2P(src, dst) {
+			d, err := top.TransferTime(src, dst, chunk)
+			if err != nil {
+				return 0, err
+			}
+			step = d
+		} else {
+			d1, err := top.TransferTime(src, hw.Host, chunk)
+			if err != nil {
+				return 0, err
+			}
+			d2, err := top.TransferTime(hw.Host, dst, chunk)
+			if err != nil {
+				return 0, err
+			}
+			step = d1 + d2
+		}
+		if step > worst {
+			worst = step
+		}
+	}
+	return sim.Time(2*(n-1)) * worst, nil
+}

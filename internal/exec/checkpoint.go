@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// checkpointMagic identifies the on-disk format; bump the version on
+// layout changes.
+const checkpointMagic uint32 = 0x48724d31 // "HrM1"
+
+// Save serializes replica 0's weights and optimizer state (dirty
+// device copies are written back first, so the checkpoint reflects
+// the latest update). The format is self-describing: magic, step,
+// layer count, then per layer the parameter and optimizer-state
+// vectors.
+func (tr *Trainer) Save(w io.Writer) error {
+	write := func(v any) error { return binary.Write(w, binary.LittleEndian, v) }
+	if err := write(checkpointMagic); err != nil {
+		return fmt.Errorf("exec: checkpoint write: %w", err)
+	}
+	if err := write(uint64(tr.step)); err != nil {
+		return err
+	}
+	if err := write(uint32(len(tr.layers))); err != nil {
+		return err
+	}
+	for l, layer := range tr.layers {
+		params, err := tr.vm.Host(tr.g.W[0][l])
+		if err != nil {
+			return fmt.Errorf("exec: checkpoint layer %d: %w", l, err)
+		}
+		if err := write(uint32(layer.ParamCount())); err != nil {
+			return err
+		}
+		if err := writeFloats(w, params[:layer.ParamCount()]); err != nil {
+			return err
+		}
+		var opt []float32
+		if tr.g.K[0][l].Bytes > 0 {
+			opt, err = tr.vm.Host(tr.g.K[0][l])
+			if err != nil {
+				return fmt.Errorf("exec: checkpoint optimizer %d: %w", l, err)
+			}
+		}
+		if err := write(uint32(len(opt))); err != nil {
+			return err
+		}
+		if err := writeFloats(w, opt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load restores weights and optimizer state into every replica (all
+// replicas must stay identical) and resumes the optimizer step count.
+// The trainer's architecture must match the checkpoint.
+func (tr *Trainer) Load(r io.Reader) error {
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic uint32
+	if err := read(&magic); err != nil {
+		return fmt.Errorf("exec: checkpoint read: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("exec: not a harmony checkpoint (magic %#x)", magic)
+	}
+	var step uint64
+	if err := read(&step); err != nil {
+		return err
+	}
+	var layers uint32
+	if err := read(&layers); err != nil {
+		return err
+	}
+	if int(layers) != len(tr.layers) {
+		return fmt.Errorf("exec: checkpoint has %d layers, trainer has %d", layers, len(tr.layers))
+	}
+	for l, layer := range tr.layers {
+		var pn uint32
+		if err := read(&pn); err != nil {
+			return err
+		}
+		if int(pn) != layer.ParamCount() {
+			return fmt.Errorf("exec: layer %d: checkpoint %d params, model %d", l, pn, layer.ParamCount())
+		}
+		params, err := readFloats(r, int(pn))
+		if err != nil {
+			return err
+		}
+		var on uint32
+		if err := read(&on); err != nil {
+			return err
+		}
+		opt, err := readFloats(r, int(on))
+		if err != nil {
+			return err
+		}
+		for rep := 0; rep < tr.g.Cfg.Replicas; rep++ {
+			// Sync then drop any device copy so the overwritten host
+			// backing is authoritative.
+			w, err := tr.vm.Host(tr.g.W[rep][l])
+			if err != nil {
+				return err
+			}
+			if err := tr.vm.Invalidate(tr.g.W[rep][l]); err != nil {
+				return err
+			}
+			copy(w, params)
+			if len(opt) > 0 {
+				k, err := tr.vm.Host(tr.g.K[rep][l])
+				if err != nil {
+					return err
+				}
+				if err := tr.vm.Invalidate(tr.g.K[rep][l]); err != nil {
+					return err
+				}
+				if len(k) != len(opt) {
+					return fmt.Errorf("exec: layer %d: optimizer state size mismatch", l)
+				}
+				copy(k, opt)
+			}
+		}
+	}
+	tr.step = int(step)
+	return nil
+}
+
+// Step count accessor for checkpoint-resume tests.
+func (tr *Trainer) StepCount() int { return tr.step }
+
+func writeFloats(w io.Writer, vs []float32) error {
+	buf := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, n int) ([]float32, error) {
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return out, nil
+}

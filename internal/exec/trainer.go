@@ -1,0 +1,504 @@
+package exec
+
+import (
+	"fmt"
+
+	"harmony/internal/graph"
+	"harmony/internal/models"
+	"harmony/internal/nn"
+	"harmony/internal/sched"
+	"harmony/internal/tensor"
+)
+
+// Optimizer selects the weight-update rule.
+type Optimizer int
+
+const (
+	// SGD is plain stochastic gradient descent.
+	SGD Optimizer = iota
+	// Adam keeps two moment buffers per parameter (the optimizer
+	// state K of the paper's swap model).
+	Adam
+)
+
+// TrainerConfig configures real training of a classifier under
+// Harmony scheduling on virtual devices.
+type TrainerConfig struct {
+	// Widths is the MLP shape: input, hidden..., classes. Ignored
+	// when Kernels is set.
+	Widths []int
+	// Kernels, when non-nil, is an explicit layer stack (dense,
+	// conv, pool — anything implementing nn.Kernel); the final
+	// kernel's OutSize is the class count.
+	Kernels []nn.Kernel
+	// Mode, Devices and the optimization toggles come from the same
+	// scheduler as the simulator.
+	Mode    sched.Mode
+	Devices int
+	// DeviceBytes is each virtual device's memory capacity; pick it
+	// below the model's footprint to exercise swapping.
+	DeviceBytes int64
+	// MicrobatchSize and Microbatches shape one iteration per
+	// replica (pipeline mode uses Microbatches as the total stream).
+	MicrobatchSize int
+	Microbatches   int
+	Optimizer      Optimizer
+	LR             float32
+	Seed           uint64
+	// Options overrides sched.DefaultOptions(Mode) when non-nil.
+	Options *sched.Options
+}
+
+// Trainer runs real training iterations.
+type Trainer struct {
+	cfg     TrainerConfig
+	layers  []nn.Kernel
+	inDim   int
+	classes int
+	g       *graph.Graph
+	s       *sched.Schedule
+	vm      *VM
+	step    int
+}
+
+// NewTrainer builds the model, task graph, schedule and virtual
+// memory, and initializes weights identically across replicas.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
+	var layers []nn.Kernel
+	if len(cfg.Kernels) > 0 {
+		layers = cfg.Kernels
+		for i := 0; i+1 < len(layers); i++ {
+			if layers[i].OutSize() != layers[i+1].InSize() {
+				return nil, fmt.Errorf("exec: kernel %d (%s) out %d != kernel %d (%s) in %d",
+					i, layers[i].Name(), layers[i].OutSize(),
+					i+1, layers[i+1].Name(), layers[i+1].InSize())
+			}
+		}
+	} else {
+		if len(cfg.Widths) < 2 {
+			return nil, fmt.Errorf("exec: need at least input and output widths")
+		}
+		for i := 0; i+1 < len(cfg.Widths); i++ {
+			layers = append(layers, nn.Dense{
+				In:   cfg.Widths[i],
+				Out:  cfg.Widths[i+1],
+				ReLU: i+2 < len(cfg.Widths), // all but the final layer
+			})
+		}
+	}
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("exec: Devices must be positive")
+	}
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("exec: LR must be positive")
+	}
+	model := kernelModel(layers, cfg.Optimizer == Adam)
+	replicas := cfg.Devices
+	if cfg.Mode.IsPipeline() {
+		replicas = 1
+	}
+	g, err := graph.Build(graph.Config{
+		Model:          model,
+		MicrobatchSize: cfg.MicrobatchSize,
+		Microbatches:   cfg.Microbatches,
+		Replicas:       replicas,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := sched.DefaultOptions(cfg.Mode)
+	if cfg.Options != nil {
+		opts = *cfg.Options
+		opts.Mode = cfg.Mode
+	}
+	s, err := sched.Build(g, opts, cfg.Devices)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trainer{
+		cfg:     cfg,
+		layers:  layers,
+		inDim:   layers[0].InSize(),
+		classes: layers[len(layers)-1].OutSize(),
+		g:       g,
+		s:       s,
+		vm:      NewVM(cfg.Devices, cfg.DeviceBytes, s.MemPolicy),
+	}
+	// Persistent state: identical weights in every replica, zero
+	// gradients and optimizer state.
+	for r := 0; r < replicas; r++ {
+		for l, layer := range tr.layers {
+			w := tr.vm.HostAlloc(g.W[r][l])
+			nn.InitKernel(layer, w, cfg.Seed+uint64(l)*7919)
+			tr.vm.HostAlloc(g.DW[r][l])
+			if g.K[r][l].Bytes > 0 {
+				tr.vm.HostAlloc(g.K[r][l])
+			}
+		}
+	}
+	return tr, nil
+}
+
+// kernelModel derives the simulator-facing model description from a
+// real kernel stack: the graph and scheduler need only sizes and
+// operation counts.
+func kernelModel(layers []nn.Kernel, adam bool) *models.Model {
+	opt := 0.0
+	if adam {
+		opt = 2.0
+	}
+	m := &models.Model{
+		Name:                 "exec-kernels",
+		OptStateParamsFactor: opt,
+		SampleBytes:          int64(layers[0].InSize()) * 4,
+	}
+	for _, k := range layers {
+		m.Layers = append(m.Layers, models.LayerSpec{
+			Name:                k.Name(),
+			Params:              int64(k.ParamCount()),
+			FwdFLOPsPerSample:   k.FLOPsPerSample(),
+			ActBytesPerSample:   int64(k.OutSize()) * 4,
+			StashBytesPerSample: int64(k.StashSize()) * 4,
+		})
+	}
+	return m
+}
+
+// Stats returns data-movement counters accumulated so far.
+func (tr *Trainer) Stats() VMStats { return tr.vm.Stats }
+
+// Model reports the derived model's footprint for sizing examples.
+func (tr *Trainer) FootprintBytes() int64 {
+	var total int64
+	for _, t := range tr.g.Reg.All() {
+		if t.Kind.IsPersistent() {
+			total += t.Bytes
+		}
+	}
+	return total
+}
+
+// Replicas returns how many model replicas the trainer maintains.
+func (tr *Trainer) Replicas() int { return tr.g.Cfg.Replicas }
+
+// batchesNeeded returns how many (microbatch) slots one Step consumes
+// per replica.
+func (tr *Trainer) batchesNeeded() int { return tr.g.Cfg.Microbatches }
+
+// Step runs one training iteration. inputs[r][i] is the microbatch i
+// fed to replica r (flattened [MicrobatchSize × Widths[0]]), labels
+// likewise. It returns the mean loss across all microbatches.
+func (tr *Trainer) Step(inputs [][][]float32, labels [][][]int) (float32, error) {
+	R := len(tr.layers)
+	m := tr.batchesNeeded()
+	N := tr.g.Cfg.Replicas
+	if len(inputs) != N || len(labels) != N {
+		return 0, fmt.Errorf("exec: need data for %d replicas, got %d", N, len(inputs))
+	}
+	batch := tr.cfg.MicrobatchSize
+	inDim := tr.inDim
+	classes := tr.classes
+	for r := 0; r < N; r++ {
+		if len(inputs[r]) != m || len(labels[r]) != m {
+			return 0, fmt.Errorf("exec: replica %d needs %d microbatches", r, m)
+		}
+		for i := 0; i < m; i++ {
+			if len(inputs[r][i]) != batch*inDim {
+				return 0, fmt.Errorf("exec: input %d/%d has %d floats, want %d",
+					r, i, len(inputs[r][i]), batch*inDim)
+			}
+			if len(labels[r][i]) != batch {
+				return 0, fmt.Errorf("exec: labels %d/%d has %d entries, want %d",
+					r, i, len(labels[r][i]), batch)
+			}
+			host := tr.vm.HostAlloc(tr.g.Act[r][0][i])
+			copy(host, inputs[r][i])
+		}
+	}
+	tr.step++
+
+	// Execute the schedule: advance each device's queue when its head
+	// task's dependencies are done; collectives run as they become
+	// ready. Everything is synchronous real math.
+	depsLeft := make([]int, len(tr.g.Tasks))
+	for _, t := range tr.g.Tasks {
+		depsLeft[t.ID] = len(t.Deps)
+	}
+	cursors := make([]int, tr.s.NGPUs)
+	var totalLoss float64
+	lossCount := 0
+
+	complete := func(t *graph.Task) {
+		for _, s := range t.Succs {
+			depsLeft[s.ID]--
+		}
+	}
+	pendingAR := append([]*graph.Task(nil), tr.s.Collectives...)
+
+	done := 0
+	total := len(tr.g.Tasks)
+	for done < total {
+		progress := false
+		// Collectives first: they unblock updates on every device.
+		for i := 0; i < len(pendingAR); i++ {
+			ar := pendingAR[i]
+			if depsLeft[ar.ID] > 0 {
+				continue
+			}
+			if err := tr.runAllReduce(ar); err != nil {
+				return 0, err
+			}
+			complete(ar)
+			pendingAR = append(pendingAR[:i], pendingAR[i+1:]...)
+			i--
+			done++
+			progress = true
+		}
+		for d := 0; d < tr.s.NGPUs; d++ {
+			q := tr.s.Queues[d]
+			for cursors[d] < len(q) && depsLeft[q[cursors[d]].ID] == 0 {
+				t := q[cursors[d]]
+				loss, counted, err := tr.runTask(d, t, labels)
+				if err != nil {
+					return 0, fmt.Errorf("exec: %s on gpu%d: %w", t, d, err)
+				}
+				if counted {
+					totalLoss += float64(loss)
+					lossCount++
+				}
+				complete(t)
+				cursors[d]++
+				done++
+				progress = true
+			}
+		}
+		if !progress {
+			return 0, fmt.Errorf("exec: schedule deadlocked with %d/%d tasks done", done, total)
+		}
+	}
+
+	// Iteration cleanup: input batches are consumed.
+	for r := 0; r < N; r++ {
+		for i := 0; i < m; i++ {
+			if err := tr.vm.Free(tr.g.Act[r][0][i]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if lossCount == 0 {
+		return 0, fmt.Errorf("exec: no loss computed")
+	}
+	_ = R
+	_ = classes
+	return float32(totalLoss / float64(lossCount)), nil
+}
+
+// runTask executes one compute task with real kernels. It returns a
+// loss value when the task is the final layer's backward (which owns
+// the loss computation).
+func (tr *Trainer) runTask(dev int, t *graph.Task, labels [][][]int) (float32, bool, error) {
+	g := tr.g
+	batch := tr.cfg.MicrobatchSize
+	switch t.Kind {
+	case graph.Forward:
+		layer := tr.layers[t.Layer]
+		w, err := tr.vm.Ensure(dev, g.W[t.Replica][t.Layer])
+		if err != nil {
+			return 0, false, err
+		}
+		x, err := tr.vm.Ensure(dev, g.Act[t.Replica][t.Layer][t.Microbatch])
+		if err != nil {
+			return 0, false, err
+		}
+		y, err := tr.vm.Alloc(dev, g.Act[t.Replica][t.Layer+1][t.Microbatch])
+		if err != nil {
+			return 0, false, err
+		}
+		stash, err := tr.vm.Alloc(dev, g.Stash[t.Replica][t.Layer][t.Microbatch])
+		if err != nil {
+			return 0, false, err
+		}
+		layer.Forward(w, x, y, stash, batch)
+		tr.unpin(g.W[t.Replica][t.Layer], g.Act[t.Replica][t.Layer][t.Microbatch],
+			g.Act[t.Replica][t.Layer+1][t.Microbatch], g.Stash[t.Replica][t.Layer][t.Microbatch])
+		return 0, false, tr.freeAll(t.Frees)
+
+	case graph.Backward:
+		layer := tr.layers[t.Layer]
+		R := len(tr.layers)
+		w, err := tr.vm.Ensure(dev, g.W[t.Replica][t.Layer])
+		if err != nil {
+			return 0, false, err
+		}
+		dw, err := tr.vm.Ensure(dev, g.DW[t.Replica][t.Layer])
+		if err != nil {
+			return 0, false, err
+		}
+		stash, err := tr.vm.Ensure(dev, g.Stash[t.Replica][t.Layer][t.Microbatch])
+		if err != nil {
+			return 0, false, err
+		}
+		var dy []float32
+		var loss float32
+		counted := false
+		pinnedDY := false
+		if t.Layer == R-1 {
+			// The loss gradient is produced here from the final
+			// activations and the labels.
+			logits, err := tr.vm.Ensure(dev, g.Act[t.Replica][t.Layer+1][t.Microbatch])
+			if err != nil {
+				return 0, false, err
+			}
+			classes := layer.OutSize()
+			dy = make([]float32, batch*classes)
+			loss = nn.SoftmaxXent(logits, labels[t.Replica][t.Microbatch], dy, batch, classes)
+			counted = true
+			if err := tr.vm.Unpin(g.Act[t.Replica][t.Layer+1][t.Microbatch]); err != nil {
+				return 0, false, err
+			}
+		} else {
+			dy, err = tr.vm.Ensure(dev, g.Grad[t.Replica][t.Layer+1][t.Microbatch])
+			if err != nil {
+				return 0, false, err
+			}
+			pinnedDY = true
+		}
+		var dx []float32
+		if t.Layer > 0 {
+			dx, err = tr.vm.Alloc(dev, g.Grad[t.Replica][t.Layer][t.Microbatch])
+			if err != nil {
+				return 0, false, err
+			}
+		}
+		layer.Backward(w, stash, dy, dx, dw, batch)
+		if err := tr.vm.MarkDirty(g.DW[t.Replica][t.Layer]); err != nil {
+			return 0, false, err
+		}
+		tr.unpin(g.W[t.Replica][t.Layer], g.DW[t.Replica][t.Layer], g.Stash[t.Replica][t.Layer][t.Microbatch])
+		if pinnedDY {
+			if err := tr.vm.Unpin(g.Grad[t.Replica][t.Layer+1][t.Microbatch]); err != nil {
+				return 0, false, err
+			}
+		}
+		if t.Layer > 0 {
+			if err := tr.vm.Unpin(g.Grad[t.Replica][t.Layer][t.Microbatch]); err != nil {
+				return 0, false, err
+			}
+		}
+		return loss, counted, tr.freeAll(t.Frees)
+
+	case graph.Update:
+		layer := tr.layers[t.Layer]
+		if layer.ParamCount() == 0 {
+			// Parameter-free layers (pooling) have nothing to update.
+			return 0, false, nil
+		}
+		w, err := tr.vm.Ensure(dev, g.W[t.Replica][t.Layer])
+		if err != nil {
+			return 0, false, err
+		}
+		dw, err := tr.vm.Ensure(dev, g.DW[t.Replica][t.Layer])
+		if err != nil {
+			return 0, false, err
+		}
+		n := layer.ParamCount()
+		if tr.cfg.Optimizer == Adam {
+			k, err := tr.vm.Ensure(dev, g.K[t.Replica][t.Layer])
+			if err != nil {
+				return 0, false, err
+			}
+			nn.Adam(w[:n], dw[:n], k[:n], k[n:2*n], tr.cfg.LR, 0.9, 0.999, 1e-8, tr.step)
+			if err := tr.vm.MarkDirty(g.K[t.Replica][t.Layer]); err != nil {
+				return 0, false, err
+			}
+			if err := tr.vm.Unpin(g.K[t.Replica][t.Layer]); err != nil {
+				return 0, false, err
+			}
+		} else {
+			nn.SGD(w[:n], dw[:n], tr.cfg.LR)
+		}
+		if err := tr.vm.MarkDirty(g.W[t.Replica][t.Layer]); err != nil {
+			return 0, false, err
+		}
+		if err := tr.vm.MarkDirty(g.DW[t.Replica][t.Layer]); err != nil {
+			return 0, false, err
+		}
+		tr.unpin(g.W[t.Replica][t.Layer], g.DW[t.Replica][t.Layer])
+		return 0, false, nil
+
+	default:
+		return 0, false, fmt.Errorf("exec: unexpected task kind %v in queue", t.Kind)
+	}
+}
+
+// runAllReduce averages the gradient buffers across replicas (real
+// math: the buffers end up identical on every device).
+func (tr *Trainer) runAllReduce(ar *graph.Task) error {
+	n := len(ar.Inputs)
+	views := make([][]float32, n)
+	for i, in := range ar.Inputs {
+		v, err := tr.vm.Ensure(i, in) // replica i trains on device i
+		if err != nil {
+			return err
+		}
+		views[i] = v
+	}
+	floats := int(ar.Inputs[0].Bytes / 4)
+	inv := float32(1) / float32(n)
+	for j := 0; j < floats; j++ {
+		var s float32
+		for i := 0; i < n; i++ {
+			s += views[i][j]
+		}
+		s *= inv
+		for i := 0; i < n; i++ {
+			views[i][j] = s
+		}
+	}
+	for _, in := range ar.Inputs {
+		if err := tr.vm.MarkDirty(in); err != nil {
+			return err
+		}
+		if err := tr.vm.Unpin(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tr *Trainer) unpin(ts ...*tensor.Tensor) {
+	for _, t := range ts {
+		if err := tr.vm.Unpin(t); err != nil {
+			panic(err) // plumbing bug, not a runtime condition
+		}
+	}
+}
+
+func (tr *Trainer) freeAll(ts []*tensor.Tensor) error {
+	for _, t := range ts {
+		if err := tr.vm.Free(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict runs a forward-only pass on device 0 with replica 0's
+// weights and returns the logits. Used by examples for evaluation.
+func (tr *Trainer) Predict(input []float32, batch int) ([]float32, error) {
+	if len(input) != batch*tr.inDim {
+		return nil, fmt.Errorf("exec: predict input %d floats, want %d", len(input), batch*tr.inDim)
+	}
+	x := input
+	for l, layer := range tr.layers {
+		w, err := tr.vm.Host(tr.g.W[0][l])
+		if err != nil {
+			return nil, err
+		}
+		y := make([]float32, batch*layer.OutSize())
+		stash := make([]float32, batch*layer.StashSize())
+		layer.Forward(w, x, y, stash, batch)
+		x = y
+	}
+	return x, nil
+}

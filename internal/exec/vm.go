@@ -1,0 +1,288 @@
+// Package exec is Harmony's real-execution runtime: it trains actual
+// models (internal/nn kernels, real float32 data) under the same task
+// graphs and schedules as the simulator, but on capacity-limited
+// *virtual devices* whose memories form a coherent virtual memory
+// backed by host buffers. Swaps are real memcpys; capacity limits are
+// enforced exactly; eviction is LRU with the same dirty-tracking and
+// p2p policies as the simulated memory manager.
+//
+// This is the proof that the paper's design trains models end to end:
+// the quickstart and mnist examples push a model whose footprint
+// exceeds per-device capacity through Harmony scheduling and verify
+// the loss decreases.
+package exec
+
+import (
+	"fmt"
+
+	"harmony/internal/memory"
+	"harmony/internal/tensor"
+)
+
+// VMStats counts real data movement.
+type VMStats struct {
+	SwapInBytes  int64
+	SwapOutBytes int64
+	DropBytes    int64
+	P2PBytes     int64
+	SwapIns      int
+	SwapOuts     int
+	Drops        int
+	P2PMoves     int
+}
+
+type buffer struct {
+	t     *tensor.Tensor
+	host  []float32 // backing copy; nil until first host materialization
+	dev   []float32 // device copy; nil when not resident
+	devID int
+	dirty bool // device copy newer than host copy
+	pins  int
+	last  int64 // LRU clock
+}
+
+func (b *buffer) floats() int { return int(b.t.Bytes / 4) }
+
+// VM is a coherent virtual memory across virtual devices.
+type VM struct {
+	capacity int64
+	used     []int64
+	pol      memory.Policy
+	bufs     map[int]*buffer
+	clock    int64
+	Stats    VMStats
+}
+
+// NewVM creates n virtual devices with the given per-device capacity.
+func NewVM(devices int, capacityBytes int64, pol memory.Policy) *VM {
+	if devices <= 0 || capacityBytes <= 0 {
+		panic(fmt.Sprintf("exec: bad VM shape devices=%d capacity=%d", devices, capacityBytes))
+	}
+	return &VM{
+		capacity: capacityBytes,
+		used:     make([]int64, devices),
+		pol:      pol,
+		bufs:     make(map[int]*buffer),
+	}
+}
+
+// Used returns resident bytes on a device.
+func (vm *VM) Used(dev int) int64 { return vm.used[dev] }
+
+// HostAlloc materializes a tensor's host backing (zeroed) and returns
+// it. Idempotent for already-materialized tensors.
+func (vm *VM) HostAlloc(t *tensor.Tensor) []float32 {
+	b, ok := vm.bufs[t.ID]
+	if !ok {
+		b = &buffer{t: t, devID: -1}
+		vm.bufs[t.ID] = b
+	}
+	if b.host == nil {
+		b.host = make([]float32, b.floats())
+	}
+	return b.host
+}
+
+// Host returns the host backing, swapping the device copy back first
+// if it is dirty (used to read results out).
+func (vm *VM) Host(t *tensor.Tensor) ([]float32, error) {
+	b, ok := vm.bufs[t.ID]
+	if !ok {
+		return nil, fmt.Errorf("exec: tensor %s has no buffer", t)
+	}
+	if b.dev != nil && b.dirty {
+		vm.writeback(b)
+	}
+	if b.host == nil {
+		return nil, fmt.Errorf("exec: tensor %s has no valid copy", t)
+	}
+	return b.host, nil
+}
+
+// Ensure makes t resident on dev and pins it, returning the device
+// slice. The tensor must have a valid copy somewhere.
+func (vm *VM) Ensure(dev int, t *tensor.Tensor) ([]float32, error) {
+	b, ok := vm.bufs[t.ID]
+	if !ok {
+		return nil, fmt.Errorf("exec: tensor %s was never materialized", t)
+	}
+	vm.clock++
+	b.last = vm.clock
+	if b.dev != nil && b.devID == dev {
+		b.pins++
+		return b.dev, nil
+	}
+	if b.dev != nil {
+		// Resident elsewhere: p2p move or host bounce.
+		if vm.pol.P2P {
+			if err := vm.reserve(dev, t.Bytes); err != nil {
+				return nil, err
+			}
+			dst := make([]float32, b.floats())
+			copy(dst, b.dev)
+			vm.used[b.devID] -= t.Bytes
+			b.dev = dst
+			b.devID = dev
+			vm.used[dev] += t.Bytes
+			vm.Stats.P2PBytes += t.Bytes
+			vm.Stats.P2PMoves++
+			b.pins++
+			return b.dev, nil
+		}
+		vm.writeback(b)
+		vm.release(b)
+	}
+	if b.host == nil {
+		return nil, fmt.Errorf("exec: tensor %s has no valid copy to swap in", t)
+	}
+	if err := vm.reserve(dev, t.Bytes); err != nil {
+		return nil, err
+	}
+	b.dev = make([]float32, b.floats())
+	copy(b.dev, b.host)
+	b.devID = dev
+	b.dirty = false
+	vm.used[dev] += t.Bytes
+	vm.Stats.SwapInBytes += t.Bytes
+	vm.Stats.SwapIns++
+	b.pins++
+	return b.dev, nil
+}
+
+// Alloc creates a fresh device buffer for an output tensor (dirty, no
+// host copy) and pins it.
+func (vm *VM) Alloc(dev int, t *tensor.Tensor) ([]float32, error) {
+	b, ok := vm.bufs[t.ID]
+	if ok && (b.dev != nil || b.host != nil) {
+		return nil, fmt.Errorf("exec: tensor %s already materialized", t)
+	}
+	if !ok {
+		b = &buffer{t: t, devID: -1}
+		vm.bufs[t.ID] = b
+	}
+	if err := vm.reserve(dev, t.Bytes); err != nil {
+		return nil, err
+	}
+	vm.clock++
+	b.last = vm.clock
+	b.dev = make([]float32, b.floats())
+	b.devID = dev
+	b.dirty = true
+	b.pins = 1
+	vm.used[dev] += t.Bytes
+	return b.dev, nil
+}
+
+// MarkDirty records an in-place mutation of the device copy.
+func (vm *VM) MarkDirty(t *tensor.Tensor) error {
+	b, ok := vm.bufs[t.ID]
+	if !ok || b.dev == nil {
+		return fmt.Errorf("exec: MarkDirty on non-resident %s", t)
+	}
+	b.dirty = true
+	return nil
+}
+
+// Unpin releases one pin.
+func (vm *VM) Unpin(t *tensor.Tensor) error {
+	b, ok := vm.bufs[t.ID]
+	if !ok || b.pins <= 0 {
+		return fmt.Errorf("exec: Unpin underflow on %s", t)
+	}
+	b.pins--
+	return nil
+}
+
+// Free destroys the tensor entirely.
+func (vm *VM) Free(t *tensor.Tensor) error {
+	b, ok := vm.bufs[t.ID]
+	if !ok {
+		return nil
+	}
+	if b.pins > 0 {
+		return fmt.Errorf("exec: Free of pinned %s", t)
+	}
+	if b.dev != nil {
+		vm.release(b)
+	}
+	delete(vm.bufs, t.ID)
+	return nil
+}
+
+// reserve evicts LRU victims on dev until `bytes` fit.
+func (vm *VM) reserve(dev int, bytes int64) error {
+	if bytes > vm.capacity {
+		return fmt.Errorf("exec: tensor of %d bytes exceeds device capacity %d", bytes, vm.capacity)
+	}
+	for vm.used[dev]+bytes > vm.capacity {
+		victim := vm.victim(dev)
+		if victim == nil {
+			return fmt.Errorf("exec: device %d cannot free %d bytes (used %d, all pinned)",
+				dev, bytes, vm.used[dev])
+		}
+		vm.evict(victim)
+	}
+	return nil
+}
+
+func (vm *VM) victim(dev int) *buffer {
+	var best *buffer
+	for _, b := range vm.bufs {
+		if b.dev == nil || b.devID != dev || b.pins > 0 {
+			continue
+		}
+		if best == nil || b.last < best.last ||
+			(b.last == best.last && b.t.ID < best.t.ID) {
+			best = b
+		}
+	}
+	return best
+}
+
+func (vm *VM) evict(b *buffer) {
+	if vm.pol.DirtyTracking && !b.dirty && b.host != nil {
+		vm.Stats.DropBytes += b.t.Bytes
+		vm.Stats.Drops++
+		vm.release(b)
+		return
+	}
+	vm.writeback(b)
+	vm.release(b)
+}
+
+// writeback copies the device data into the host backing. Naive
+// virtualization (DirtyTracking off) writes back unconditionally.
+func (vm *VM) writeback(b *buffer) {
+	if b.host == nil {
+		b.host = make([]float32, b.floats())
+	}
+	copy(b.host, b.dev)
+	b.dirty = false
+	vm.Stats.SwapOutBytes += b.t.Bytes
+	vm.Stats.SwapOuts++
+}
+
+func (vm *VM) release(b *buffer) {
+	vm.used[b.devID] -= b.t.Bytes
+	b.dev = nil
+	b.devID = -1
+}
+
+// Invalidate discards any device copy without writeback, making the
+// host backing authoritative (used when host contents are overwritten
+// externally, e.g. checkpoint restore). Fails on pinned tensors.
+func (vm *VM) Invalidate(t *tensor.Tensor) error {
+	b, ok := vm.bufs[t.ID]
+	if !ok || b.dev == nil {
+		return nil
+	}
+	if b.pins > 0 {
+		return fmt.Errorf("exec: Invalidate of pinned %s", t)
+	}
+	if b.host == nil {
+		return fmt.Errorf("exec: Invalidate would lose the only copy of %s", t)
+	}
+	b.dirty = false
+	vm.release(b)
+	return nil
+}

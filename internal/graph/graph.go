@@ -1,0 +1,451 @@
+// Package graph implements Harmony's Task Decomposer (paper Fig. 3):
+// it refines a model into a fine-grained task graph that decouples
+// forward, backward and weight-update per layer per microbatch, with
+// dependencies encoded as graph edges. These tasks are the unit of
+// scheduling; schedulers (internal/sched) order them and late-bind
+// them to devices.
+//
+// The same graph serves every execution mode: baseline data-parallel,
+// baseline pipeline-parallel, Harmony-DP and Harmony-PP differ only in
+// task ordering, device binding, and memory policy.
+package graph
+
+import (
+	"fmt"
+
+	"harmony/internal/models"
+	"harmony/internal/tensor"
+)
+
+// Kind is the task type.
+type Kind int
+
+const (
+	// Forward computes layer l's output for one microbatch.
+	Forward Kind = iota
+	// Backward computes input gradients and accumulates weight
+	// gradients for one microbatch.
+	Backward
+	// Update applies the optimizer to one layer's weights.
+	Update
+	// AllReduce averages one layer's weight gradients across
+	// data-parallel replicas.
+	AllReduce
+	// Gather all-gathers per-shard partial tensors into full copies
+	// on every shard's device (intra-op sharding).
+	Gather
+)
+
+var kindNames = [...]string{"FWD", "BWD", "UPD", "AR", "AG"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Task is one schedulable unit.
+type Task struct {
+	ID   int
+	Kind Kind
+	// Replica is the data-parallel replica the task belongs to
+	// (always 0 in pipeline mode). AllReduce tasks span replicas and
+	// use -1.
+	Replica int
+	// Layer is the layer index; Microbatch is -1 for Update and
+	// AllReduce.
+	Layer      int
+	Microbatch int
+
+	// FLOPs is the compute cost (0 for AllReduce; its cost is
+	// communication, computed by the collective package from
+	// CommBytes).
+	FLOPs float64
+	// CommBytes is the per-replica payload for AllReduce tasks.
+	CommBytes int64
+	// WorkspaceBytes must be free on the device while running.
+	WorkspaceBytes int64
+
+	// Inputs must be resident (and are pinned) while the task runs.
+	Inputs []*tensor.Tensor
+	// Outputs are produced on the device by the task.
+	Outputs []*tensor.Tensor
+	// Mutates are inputs modified in place (marked dirty).
+	Mutates []*tensor.Tensor
+	// Frees are tensors whose last use is this task; the runtime
+	// destroys them on completion.
+	Frees []*tensor.Tensor
+
+	// Deps are tasks that must complete first.
+	Deps []*Task
+	// Succs is the reverse adjacency, filled by the builder.
+	Succs []*Task
+}
+
+func (t *Task) String() string {
+	switch t.Kind {
+	case Update:
+		return fmt.Sprintf("UPD[r%d,L%d]", t.Replica, t.Layer)
+	case AllReduce:
+		return fmt.Sprintf("AR[L%d]", t.Layer)
+	case Gather:
+		return fmt.Sprintf("AG[L%d,mb%d]", t.Layer, t.Microbatch)
+	default:
+		return fmt.Sprintf("%s[r%d,L%d,mb%d]", t.Kind, t.Replica, t.Layer, t.Microbatch)
+	}
+}
+
+// Config describes one training iteration to decompose.
+type Config struct {
+	Model *models.Model
+	// MicrobatchSize is samples per microbatch; Microbatches is m,
+	// the number of microbatches each replica processes per
+	// iteration (the grouping window of Harmony's input-batch
+	// grouping).
+	MicrobatchSize int
+	Microbatches   int
+	// Replicas is N for data parallelism; use 1 for pipeline
+	// parallelism (a single model copy whose layers are spread
+	// across devices).
+	Replicas int
+
+	// Recompute enables activation recomputation (Chen et al.,
+	// cited as [7] by the paper): the stash shrinks to just each
+	// layer's input (the checkpoint) and the backward pass re-runs
+	// the forward computation, trading FLOPs for memory — the other
+	// end of the §4 memory–performance tango.
+	Recompute bool
+
+	// OpShards > 1 decomposes each individual operation into that
+	// many subtasks running on different devices (the paper's second
+	// key idea: "we further decompose individual operations—such as
+	// a matrix multiplication—into subtasks"). Weights, gradients,
+	// optimizer state and stash are partitioned across shards;
+	// partial layer outputs are combined by all-gather tasks.
+	// Requires Replicas == 1 (shards replace data-parallel
+	// replicas). The shard index reuses the replica dimension of the
+	// Graph's arrays.
+	OpShards int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("graph: nil model")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.MicrobatchSize <= 0 {
+		return fmt.Errorf("graph: MicrobatchSize must be positive, got %d", c.MicrobatchSize)
+	}
+	if c.Microbatches <= 0 {
+		return fmt.Errorf("graph: Microbatches must be positive, got %d", c.Microbatches)
+	}
+	if c.Replicas <= 0 {
+		return fmt.Errorf("graph: Replicas must be positive, got %d", c.Replicas)
+	}
+	if c.OpShards < 0 {
+		return fmt.Errorf("graph: OpShards must be non-negative, got %d", c.OpShards)
+	}
+	if c.OpShards > 1 && c.Replicas != 1 {
+		return fmt.Errorf("graph: OpShards (%d) requires a single replica, got %d", c.OpShards, c.Replicas)
+	}
+	return nil
+}
+
+// MiniBatch is the global batch size of one iteration.
+func (c Config) MiniBatch() int { return c.MicrobatchSize * c.Microbatches * c.Replicas }
+
+// Graph is a decomposed training iteration.
+type Graph struct {
+	Cfg   Config
+	Reg   *tensor.Registry
+	Tasks []*Task
+
+	// Tensor handles, indexed [replica][layer] or
+	// [replica][layer][microbatch].
+	W, DW, K [][]*tensor.Tensor
+	// Act[r][l][i] is layer l's output for microbatch i; Act[r][0]
+	// holds the model *input* batch at layer index 0, so layer l's
+	// input is Act[r][l][i] and its output Act[r][l+1][i].
+	Act   [][][]*tensor.Tensor
+	Stash [][][]*tensor.Tensor
+	// Grad[r][l][i] is the gradient flowing into layer l's output
+	// (dY for layer l) — produced by BWD of layer l+1, consumed by
+	// BWD of layer l. Grad[r][R] is the loss gradient.
+	Grad [][][]*tensor.Tensor
+
+	// Intra-op sharding (OpShards > 1) reuses the replica dimension
+	// for shards and adds partial tensors plus gather tasks.
+	// PartialAct[s][l][i] is shard s's slice of the full Act[·][l][i]
+	// (l ≥ 1); PartialGrad likewise for interior gradients.
+	PartialAct  [][][]*tensor.Tensor
+	PartialGrad [][][]*tensor.Tensor
+
+	// Task handles.
+	Fwd [][][]*Task // [replica][layer][microbatch]
+	Bwd [][][]*Task
+	Upd [][]*Task // [replica][layer]
+	AR  []*Task   // [layer], nil when Replicas == 1
+	// AGf[l][i] gathers layer l−1's forward partials into Act[·][l][i]
+	// replicas (l = 1..R); AGb[l][i] gathers backward partials into
+	// Grad[·][l][i] replicas (l = 1..R−1). Nil without OpShards.
+	AGf [][]*Task
+	AGb [][]*Task
+}
+
+// Layers returns the model depth R.
+func (g *Graph) Layers() int { return len(g.Cfg.Model.Layers) }
+
+// Build decomposes one training iteration into the fine-grained task
+// graph.
+func Build(cfg Config) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OpShards > 1 {
+		return buildTP(cfg)
+	}
+	g := &Graph{Cfg: cfg, Reg: tensor.NewRegistry()}
+	R := len(cfg.Model.Layers)
+	N := cfg.Replicas
+	m := cfg.Microbatches
+	mb := int64(cfg.MicrobatchSize)
+
+	newTask := func(k Kind, replica, layer, microbatch int) *Task {
+		t := &Task{ID: len(g.Tasks), Kind: k, Replica: replica, Layer: layer, Microbatch: microbatch}
+		g.Tasks = append(g.Tasks, t)
+		return t
+	}
+	dep := func(t, on *Task) {
+		t.Deps = append(t.Deps, on)
+		on.Succs = append(on.Succs, t)
+	}
+
+	// Tensors.
+	g.W = make([][]*tensor.Tensor, N)
+	g.DW = make([][]*tensor.Tensor, N)
+	g.K = make([][]*tensor.Tensor, N)
+	g.Act = make([][][]*tensor.Tensor, N)
+	g.Stash = make([][][]*tensor.Tensor, N)
+	g.Grad = make([][][]*tensor.Tensor, N)
+	for r := 0; r < N; r++ {
+		g.W[r] = make([]*tensor.Tensor, R)
+		g.DW[r] = make([]*tensor.Tensor, R)
+		g.K[r] = make([]*tensor.Tensor, R)
+		g.Act[r] = make([][]*tensor.Tensor, R+1)
+		g.Stash[r] = make([][]*tensor.Tensor, R)
+		g.Grad[r] = make([][]*tensor.Tensor, R+1)
+		for l := 0; l < R; l++ {
+			spec := cfg.Model.Layers[l]
+			wb := spec.WeightBytes()
+			g.W[r][l] = g.Reg.New(fmt.Sprintf("r%d.W.L%d", r, l), tensor.Weight, wb, l, -1)
+			g.DW[r][l] = g.Reg.New(fmt.Sprintf("r%d.dW.L%d", r, l), tensor.WeightGrad, wb, l, -1)
+			kb := int64(float64(wb) * cfg.Model.OptStateParamsFactor)
+			g.K[r][l] = g.Reg.New(fmt.Sprintf("r%d.K.L%d", r, l), tensor.OptState, kb, l, -1)
+		}
+		for l := 0; l <= R; l++ {
+			g.Act[r][l] = make([]*tensor.Tensor, m)
+			g.Grad[r][l] = make([]*tensor.Tensor, m)
+			if l < R {
+				g.Stash[r][l] = make([]*tensor.Tensor, m)
+			}
+			for i := 0; i < m; i++ {
+				var actBytes int64
+				if l == 0 {
+					actBytes = cfg.Model.SampleBytes * mb
+				} else {
+					actBytes = cfg.Model.Layers[l-1].ActBytesPerSample * mb
+				}
+				g.Act[r][l][i] = g.Reg.New(fmt.Sprintf("r%d.A.L%d.mb%d", r, l, i), tensor.Activation, actBytes, l, i)
+				// Gradient w.r.t. Act[l], same size. Only interior
+				// indices exist: Grad[0] (input gradient) is never
+				// computed and Grad[R] (loss gradient) is produced
+				// inside the last backward task.
+				if l >= 1 && l <= R-1 {
+					g.Grad[r][l][i] = g.Reg.New(fmt.Sprintf("r%d.G.L%d.mb%d", r, l, i), tensor.ActivationGrad, actBytes, l, i)
+				}
+				if l < R {
+					sb := cfg.Model.Layers[l].StashBytesPerSample * mb
+					if cfg.Recompute {
+						// Checkpoint only the layer input; backward
+						// recomputes the rest.
+						sb = actBytes
+					}
+					g.Stash[r][l][i] = g.Reg.New(fmt.Sprintf("r%d.S.L%d.mb%d", r, l, i), tensor.Stash, sb, l, i)
+				}
+			}
+		}
+	}
+
+	// Tasks.
+	g.Fwd = make([][][]*Task, N)
+	g.Bwd = make([][][]*Task, N)
+	g.Upd = make([][]*Task, N)
+	for r := 0; r < N; r++ {
+		g.Fwd[r] = make([][]*Task, R)
+		g.Bwd[r] = make([][]*Task, R)
+		g.Upd[r] = make([]*Task, R)
+		for l := 0; l < R; l++ {
+			spec := cfg.Model.Layers[l]
+			g.Fwd[r][l] = make([]*Task, m)
+			g.Bwd[r][l] = make([]*Task, m)
+			for i := 0; i < m; i++ {
+				f := newTask(Forward, r, l, i)
+				f.FLOPs = spec.FwdFLOPsPerSample * float64(mb)
+				f.WorkspaceBytes = spec.WorkspaceBytes
+				f.Inputs = []*tensor.Tensor{g.W[r][l], g.Act[r][l][i]}
+				f.Outputs = []*tensor.Tensor{g.Act[r][l+1][i], g.Stash[r][l][i]}
+				if l > 0 {
+					dep(f, g.Fwd[r][l-1][i])
+					// Layer l's input (Act[l]) is last read here; the
+					// stash retains what backward needs.
+					f.Frees = append(f.Frees, g.Act[r][l][i])
+				}
+				g.Fwd[r][l][i] = f
+			}
+		}
+		// Backward tasks are built in reverse layer order so each can
+		// reference the next layer's backward (its dY producer).
+		for l := R - 1; l >= 0; l-- {
+			spec := cfg.Model.Layers[l]
+			for i := 0; i < m; i++ {
+				b := newTask(Backward, r, l, i)
+				b.FLOPs = spec.FwdFLOPsPerSample * float64(mb) * models.BwdFLOPsFactor
+				if cfg.Recompute {
+					// Re-run the forward from the checkpoint before
+					// differentiating.
+					b.FLOPs += spec.FwdFLOPsPerSample * float64(mb)
+					// The recomputed intermediates need transient
+					// space on top of the usual workspace.
+					b.WorkspaceBytes = spec.WorkspaceBytes +
+						(spec.StashBytesPerSample-spec.ActBytesPerSample)*mb
+					if b.WorkspaceBytes < spec.WorkspaceBytes {
+						b.WorkspaceBytes = spec.WorkspaceBytes
+					}
+				} else {
+					b.WorkspaceBytes = spec.WorkspaceBytes
+				}
+				b.Inputs = []*tensor.Tensor{g.W[r][l], g.DW[r][l], g.Stash[r][l][i]}
+				if l < R-1 {
+					// dY produced by the next layer's backward.
+					b.Inputs = append(b.Inputs, g.Grad[r][l+1][i])
+					dep(b, g.Bwd[r][l+1][i])
+					b.Frees = append(b.Frees, g.Grad[r][l+1][i])
+				} else {
+					// Loss gradient: produced locally from the
+					// forward output; no extra input tensor.
+					dep(b, g.Fwd[r][l][i])
+				}
+				if l > 0 {
+					b.Outputs = []*tensor.Tensor{g.Grad[r][l][i]}
+				}
+				b.Mutates = []*tensor.Tensor{g.DW[r][l]}
+				b.Frees = append(b.Frees, g.Stash[r][l][i])
+				if l == R-1 {
+					// The final activation's last use is the loss.
+					b.Frees = append(b.Frees, g.Act[r][l+1][i])
+				}
+				dep(b, g.Fwd[r][l][i])
+				g.Bwd[r][l][i] = b
+			}
+		}
+	}
+	if N > 1 {
+		g.AR = make([]*Task, R)
+		for l := 0; l < R; l++ {
+			ar := newTask(AllReduce, -1, l, -1)
+			ar.CommBytes = g.DW[0][l].Bytes
+			for r := 0; r < N; r++ {
+				ar.Inputs = append(ar.Inputs, g.DW[r][l])
+				ar.Mutates = append(ar.Mutates, g.DW[r][l])
+				for i := 0; i < m; i++ {
+					dep(ar, g.Bwd[r][l][i])
+				}
+			}
+			g.AR[l] = ar
+		}
+	}
+	for r := 0; r < N; r++ {
+		for l := 0; l < R; l++ {
+			u := newTask(Update, r, l, -1)
+			u.FLOPs = float64(cfg.Model.Layers[l].Params) * models.UpdateFLOPsPerParam
+			u.Inputs = []*tensor.Tensor{g.W[r][l], g.DW[r][l], g.K[r][l]}
+			u.Mutates = []*tensor.Tensor{g.W[r][l], g.DW[r][l], g.K[r][l]}
+			if g.AR != nil {
+				dep(u, g.AR[l])
+			} else {
+				for i := 0; i < m; i++ {
+					dep(u, g.Bwd[r][l][i])
+				}
+			}
+			g.Upd[r][l] = u
+		}
+	}
+	return g, nil
+}
+
+// MustBuild panics on error; for tests and static configs.
+func MustBuild(cfg Config) *Graph {
+	g, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// PersistentTensors returns all weights, gradient buffers and
+// optimizer state (host-resident at iteration start).
+func (g *Graph) PersistentTensors() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, t := range g.Reg.All() {
+		if t.Kind.IsPersistent() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// InputTensors returns the per-replica model input batches (Act layer
+// 0), which the data loader materializes in host memory each
+// iteration.
+func (g *Graph) InputTensors() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for r := range g.Act {
+		out = append(out, g.Act[r][0]...)
+	}
+	return out
+}
+
+// CheckAcyclic verifies the dependency graph has no cycles and
+// returns a topological order.
+func (g *Graph) CheckAcyclic() ([]*Task, error) {
+	indeg := make([]int, len(g.Tasks))
+	for _, t := range g.Tasks {
+		indeg[t.ID] = len(t.Deps)
+	}
+	queue := make([]*Task, 0, len(g.Tasks))
+	for _, t := range g.Tasks {
+		if indeg[t.ID] == 0 {
+			queue = append(queue, t)
+		}
+	}
+	order := make([]*Task, 0, len(g.Tasks))
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		order = append(order, t)
+		for _, s := range t.Succs {
+			indeg[s.ID]--
+			if indeg[s.ID] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(g.Tasks) {
+		return nil, fmt.Errorf("graph: dependency cycle (%d of %d tasks orderable)", len(order), len(g.Tasks))
+	}
+	return order, nil
+}

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"fmt"
+
+	"harmony/internal/models"
+	"harmony/internal/tensor"
+)
+
+// buildTP decomposes each layer operation into OpShards subtasks
+// (the paper's second key idea): every shard holds 1/K of the layer's
+// weights, gradients, optimizer state and stash, computes 1/K of the
+// layer's FLOPs producing a partial output slice, and an all-gather
+// task combines the K partials into a full activation replica on
+// every shard's device (Megatron-style column parallelism with
+// explicit gathers). The backward pass mirrors the structure with
+// gradient partials and gathers. The shard index lives in the
+// Graph's replica dimension so schedulers and the runtime reuse the
+// data-parallel machinery.
+func buildTP(cfg Config) (*Graph, error) {
+	g := &Graph{Cfg: cfg, Reg: tensor.NewRegistry()}
+	R := len(cfg.Model.Layers)
+	K := cfg.OpShards
+	m := cfg.Microbatches
+	mb := int64(cfg.MicrobatchSize)
+
+	newTask := func(k Kind, shard, layer, microbatch int) *Task {
+		t := &Task{ID: len(g.Tasks), Kind: k, Replica: shard, Layer: layer, Microbatch: microbatch}
+		g.Tasks = append(g.Tasks, t)
+		return t
+	}
+	dep := func(t, on *Task) {
+		t.Deps = append(t.Deps, on)
+		on.Succs = append(on.Succs, t)
+	}
+	// shardBytes splits b across K shards exactly (remainder spread
+	// over the lowest shards).
+	shardBytes := func(b int64, s int) int64 {
+		out := b / int64(K)
+		if int64(s) < b%int64(K) {
+			out++
+		}
+		return out
+	}
+
+	// Tensors. Shards reuse the replica dimension.
+	g.W = make([][]*tensor.Tensor, K)
+	g.DW = make([][]*tensor.Tensor, K)
+	g.K = make([][]*tensor.Tensor, K)
+	g.Act = make([][][]*tensor.Tensor, K)
+	g.Stash = make([][][]*tensor.Tensor, K)
+	g.Grad = make([][][]*tensor.Tensor, K)
+	g.PartialAct = make([][][]*tensor.Tensor, K)
+	g.PartialGrad = make([][][]*tensor.Tensor, K)
+	for s := 0; s < K; s++ {
+		g.W[s] = make([]*tensor.Tensor, R)
+		g.DW[s] = make([]*tensor.Tensor, R)
+		g.K[s] = make([]*tensor.Tensor, R)
+		g.Act[s] = make([][]*tensor.Tensor, R+1)
+		g.Stash[s] = make([][]*tensor.Tensor, R)
+		g.Grad[s] = make([][]*tensor.Tensor, R+1)
+		g.PartialAct[s] = make([][]*tensor.Tensor, R+1)
+		g.PartialGrad[s] = make([][]*tensor.Tensor, R+1)
+		for l := 0; l < R; l++ {
+			spec := cfg.Model.Layers[l]
+			wb := shardBytes(spec.WeightBytes(), s)
+			g.W[s][l] = g.Reg.New(fmt.Sprintf("s%d.W.L%d", s, l), tensor.Weight, wb, l, -1)
+			g.DW[s][l] = g.Reg.New(fmt.Sprintf("s%d.dW.L%d", s, l), tensor.WeightGrad, wb, l, -1)
+			kb := int64(float64(wb) * cfg.Model.OptStateParamsFactor)
+			g.K[s][l] = g.Reg.New(fmt.Sprintf("s%d.K.L%d", s, l), tensor.OptState, kb, l, -1)
+		}
+		for l := 0; l <= R; l++ {
+			g.Act[s][l] = make([]*tensor.Tensor, m)
+			g.Grad[s][l] = make([]*tensor.Tensor, m)
+			g.PartialAct[s][l] = make([]*tensor.Tensor, m)
+			g.PartialGrad[s][l] = make([]*tensor.Tensor, m)
+			if l < R {
+				g.Stash[s][l] = make([]*tensor.Tensor, m)
+			}
+			var actBytes int64
+			if l == 0 {
+				actBytes = cfg.Model.SampleBytes * mb
+			} else {
+				actBytes = cfg.Model.Layers[l-1].ActBytesPerSample * mb
+			}
+			for i := 0; i < m; i++ {
+				// Full activation replica on each shard. Layer 0 is
+				// the input batch, replicated by the data loader.
+				g.Act[s][l][i] = g.Reg.New(fmt.Sprintf("s%d.A.L%d.mb%d", s, l, i), tensor.Activation, actBytes, l, i)
+				if l >= 1 {
+					g.PartialAct[s][l][i] = g.Reg.New(fmt.Sprintf("s%d.PA.L%d.mb%d", s, l, i),
+						tensor.Activation, shardBytes(actBytes, s), l, i)
+				}
+				if l >= 1 && l <= R-1 {
+					g.Grad[s][l][i] = g.Reg.New(fmt.Sprintf("s%d.G.L%d.mb%d", s, l, i),
+						tensor.ActivationGrad, actBytes, l, i)
+					g.PartialGrad[s][l][i] = g.Reg.New(fmt.Sprintf("s%d.PG.L%d.mb%d", s, l, i),
+						tensor.ActivationGrad, shardBytes(actBytes, s), l, i)
+				}
+				if l < R {
+					sb := cfg.Model.Layers[l].StashBytesPerSample * mb
+					if cfg.Recompute {
+						sb = actBytes
+					}
+					g.Stash[s][l][i] = g.Reg.New(fmt.Sprintf("s%d.S.L%d.mb%d", s, l, i),
+						tensor.Stash, shardBytes(sb, s), l, i)
+				}
+			}
+		}
+	}
+
+	// Forward subtasks and forward gathers.
+	g.Fwd = make([][][]*Task, K)
+	g.Bwd = make([][][]*Task, K)
+	g.Upd = make([][]*Task, K)
+	for s := 0; s < K; s++ {
+		g.Fwd[s] = make([][]*Task, R)
+		g.Bwd[s] = make([][]*Task, R)
+		g.Upd[s] = make([]*Task, R)
+		for l := 0; l < R; l++ {
+			g.Fwd[s][l] = make([]*Task, m)
+			g.Bwd[s][l] = make([]*Task, m)
+		}
+	}
+	g.AGf = make([][]*Task, R+1)
+	g.AGb = make([][]*Task, R+1)
+	for l := 1; l <= R; l++ {
+		g.AGf[l] = make([]*Task, m)
+	}
+	for l := 1; l <= R-1; l++ {
+		g.AGb[l] = make([]*Task, m)
+	}
+
+	for l := 0; l < R; l++ {
+		spec := cfg.Model.Layers[l]
+		for i := 0; i < m; i++ {
+			for s := 0; s < K; s++ {
+				f := newTask(Forward, s, l, i)
+				f.FLOPs = spec.FwdFLOPsPerSample * float64(mb) / float64(K)
+				f.WorkspaceBytes = spec.WorkspaceBytes / int64(K)
+				f.Inputs = []*tensor.Tensor{g.W[s][l], g.Act[s][l][i]}
+				f.Outputs = []*tensor.Tensor{g.PartialAct[s][l+1][i], g.Stash[s][l][i]}
+				if l > 0 {
+					dep(f, g.AGf[l][i])
+					// Each shard's input replica dies with its
+					// forward; the stash retains what backward needs.
+					f.Frees = append(f.Frees, g.Act[s][l][i])
+				}
+				g.Fwd[s][l][i] = f
+			}
+			// Gather the partial outputs into full replicas.
+			ag := newTask(Gather, -1, l+1, i)
+			ag.CommBytes = 0
+			for s := 0; s < K; s++ {
+				ag.CommBytes += g.PartialAct[s][l+1][i].Bytes
+				ag.Inputs = append(ag.Inputs, g.PartialAct[s][l+1][i])
+				ag.Outputs = append(ag.Outputs, g.Act[s][l+1][i])
+				ag.Frees = append(ag.Frees, g.PartialAct[s][l+1][i])
+				dep(ag, g.Fwd[s][l][i])
+			}
+			g.AGf[l+1][i] = ag
+		}
+	}
+
+	// Backward subtasks and backward gathers, in reverse layer order.
+	for l := R - 1; l >= 0; l-- {
+		spec := cfg.Model.Layers[l]
+		for i := 0; i < m; i++ {
+			for s := 0; s < K; s++ {
+				b := newTask(Backward, s, l, i)
+				b.FLOPs = spec.FwdFLOPsPerSample * float64(mb) * models.BwdFLOPsFactor / float64(K)
+				b.WorkspaceBytes = spec.WorkspaceBytes / int64(K)
+				if cfg.Recompute {
+					b.FLOPs += spec.FwdFLOPsPerSample * float64(mb) / float64(K)
+				}
+				b.Inputs = []*tensor.Tensor{g.W[s][l], g.DW[s][l], g.Stash[s][l][i]}
+				switch {
+				case l == R-1:
+					// Loss gradient from this shard's replica of the
+					// final activations.
+					b.Inputs = append(b.Inputs, g.Act[s][R][i])
+					dep(b, g.AGf[R][i])
+					b.Frees = append(b.Frees, g.Act[s][R][i])
+				default:
+					b.Inputs = append(b.Inputs, g.Grad[s][l+1][i])
+					dep(b, g.AGb[l+1][i])
+					b.Frees = append(b.Frees, g.Grad[s][l+1][i])
+				}
+				if l > 0 {
+					b.Outputs = []*tensor.Tensor{g.PartialGrad[s][l][i]}
+				}
+				b.Mutates = []*tensor.Tensor{g.DW[s][l]}
+				b.Frees = append(b.Frees, g.Stash[s][l][i])
+				dep(b, g.Fwd[s][l][i])
+				g.Bwd[s][l][i] = b
+			}
+			if l > 0 {
+				ag := newTask(Gather, -1, l, i)
+				for s := 0; s < K; s++ {
+					ag.CommBytes += g.PartialGrad[s][l][i].Bytes
+					ag.Inputs = append(ag.Inputs, g.PartialGrad[s][l][i])
+					ag.Outputs = append(ag.Outputs, g.Grad[s][l][i])
+					ag.Frees = append(ag.Frees, g.PartialGrad[s][l][i])
+					dep(ag, g.Bwd[s][l][i])
+				}
+				g.AGb[l][i] = ag
+			}
+		}
+	}
+
+	// Per-shard updates: no all-reduce, every shard owns its slice.
+	for s := 0; s < K; s++ {
+		for l := 0; l < R; l++ {
+			u := newTask(Update, s, l, -1)
+			u.FLOPs = float64(cfg.Model.Layers[l].Params) * models.UpdateFLOPsPerParam / float64(K)
+			u.Inputs = []*tensor.Tensor{g.W[s][l], g.DW[s][l], g.K[s][l]}
+			u.Mutates = []*tensor.Tensor{g.W[s][l], g.DW[s][l], g.K[s][l]}
+			for i := 0; i < m; i++ {
+				dep(u, g.Bwd[s][l][i])
+			}
+			g.Upd[s][l] = u
+		}
+	}
+	return g, nil
+}

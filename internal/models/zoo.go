@@ -1,0 +1,24 @@
+package models
+
+// ZooEntry is a historical model for the Fig. 1 growth chart.
+type ZooEntry struct {
+	Name   string
+	Year   int
+	Params int64
+	Task   string
+}
+
+// Zoo is the Fig. 1 dataset: "DNN model size growth for image
+// classification (LeNet, AlexNet, AmoebaNet) and language modeling
+// (GNMT, GPT-2, T5, GPT-3) over two decades."
+func Zoo() []ZooEntry {
+	return []ZooEntry{
+		{Name: "LeNet", Year: 1998, Params: 60_000, Task: "image classification"},
+		{Name: "AlexNet", Year: 2012, Params: 61_000_000, Task: "image classification"},
+		{Name: "GNMT", Year: 2016, Params: 278_000_000, Task: "translation"},
+		{Name: "AmoebaNet", Year: 2018, Params: 557_000_000, Task: "image classification"},
+		{Name: "GPT-2", Year: 2019, Params: 1_500_000_000, Task: "language modeling"},
+		{Name: "T5", Year: 2019, Params: 11_000_000_000, Task: "language modeling"},
+		{Name: "GPT-3", Year: 2020, Params: 175_000_000_000, Task: "language modeling"},
+	}
+}

@@ -1,0 +1,240 @@
+// Package nn implements real float32 neural-network math on plain
+// slices: dense layers, ReLU, softmax cross-entropy, and SGD/Adam
+// optimizers. It deliberately operates on caller-provided buffers so
+// the exec runtime can place those buffers in capacity-limited
+// virtual device memory and move them through Harmony's coherent
+// virtual memory — the kernels never allocate parameter or activation
+// storage themselves.
+//
+// Backward passes use activation recomputation for the ReLU mask
+// (recompute-from-stash, in the spirit of Chen et al. [7] cited by
+// the paper) so the stash holds only each layer's input.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a fully connected layer y = relu?(x·W + b) with row-major
+// W of shape [In, Out].
+type Dense struct {
+	In, Out int
+	// ReLU applies the nonlinearity; the final layer of a classifier
+	// leaves it off (softmax cross-entropy handles the output).
+	ReLU bool
+}
+
+// ParamCount is the number of float32 parameters (weights + bias).
+func (l Dense) ParamCount() int { return l.In*l.Out + l.Out }
+
+// StashCount is the floats stashed per sample (the layer input).
+func (l Dense) StashCount() int { return l.In }
+
+// Forward computes y[batch,Out] from x[batch,In] using params
+// (weights then bias) and records x into stash. Panics on size
+// mismatches: these are programming errors in the buffer plumbing,
+// not runtime conditions.
+func (l Dense) Forward(params, x, y, stash []float32, batch int) {
+	l.check("Forward", params, x, y, batch)
+	if len(stash) < batch*l.In {
+		panic(fmt.Sprintf("nn: stash %d < %d", len(stash), batch*l.In))
+	}
+	copy(stash, x[:batch*l.In])
+	w := params[:l.In*l.Out]
+	b := params[l.In*l.Out:]
+	for i := 0; i < batch; i++ {
+		xi := x[i*l.In : (i+1)*l.In]
+		yi := y[i*l.Out : (i+1)*l.Out]
+		copy(yi, b[:l.Out])
+		for k, xv := range xi {
+			if xv == 0 {
+				continue
+			}
+			row := w[k*l.Out : (k+1)*l.Out]
+			for j, wv := range row {
+				yi[j] += xv * wv
+			}
+		}
+		if l.ReLU {
+			for j := range yi {
+				if yi[j] < 0 {
+					yi[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// Backward computes dx[batch,In] and accumulates parameter gradients
+// into grad given dy[batch,Out] and the stashed input. dx may be nil
+// for the first layer. The ReLU mask is recomputed from the stash.
+func (l Dense) Backward(params, stash, dy, dx, grad []float32, batch int) {
+	w := params[:l.In*l.Out]
+	gw := grad[:l.In*l.Out]
+	gb := grad[l.In*l.Out:]
+	// Recompute the pre-activation sign when the layer has ReLU.
+	masked := dy
+	if l.ReLU {
+		masked = make([]float32, batch*l.Out)
+		b := params[l.In*l.Out:]
+		for i := 0; i < batch; i++ {
+			xi := stash[i*l.In : (i+1)*l.In]
+			zi := make([]float32, l.Out)
+			copy(zi, b[:l.Out])
+			for k, xv := range xi {
+				if xv == 0 {
+					continue
+				}
+				row := w[k*l.Out : (k+1)*l.Out]
+				for j, wv := range row {
+					zi[j] += xv * wv
+				}
+			}
+			di := dy[i*l.Out : (i+1)*l.Out]
+			mi := masked[i*l.Out : (i+1)*l.Out]
+			for j := range zi {
+				if zi[j] > 0 {
+					mi[j] = di[j]
+				}
+			}
+		}
+	}
+	for i := 0; i < batch; i++ {
+		xi := stash[i*l.In : (i+1)*l.In]
+		di := masked[i*l.Out : (i+1)*l.Out]
+		for j, dv := range di {
+			gb[j] += dv
+		}
+		for k, xv := range xi {
+			if xv == 0 {
+				continue
+			}
+			gRow := gw[k*l.Out : (k+1)*l.Out]
+			for j, dv := range di {
+				gRow[j] += xv * dv
+			}
+		}
+		if dx != nil {
+			dxi := dx[i*l.In : (i+1)*l.In]
+			for k := range dxi {
+				row := w[k*l.Out : (k+1)*l.Out]
+				var s float32
+				for j, dv := range di {
+					s += row[j] * dv
+				}
+				dxi[k] = s
+			}
+		}
+	}
+}
+
+func (l Dense) check(op string, params, x, y []float32, batch int) {
+	if len(params) < l.ParamCount() {
+		panic(fmt.Sprintf("nn: %s params %d < %d", op, len(params), l.ParamCount()))
+	}
+	if len(x) < batch*l.In || len(y) < batch*l.Out {
+		panic(fmt.Sprintf("nn: %s buffer sizes x=%d y=%d batch=%d in=%d out=%d",
+			op, len(x), len(y), batch, l.In, l.Out))
+	}
+}
+
+// SoftmaxXent computes mean cross-entropy loss over the batch and the
+// gradient w.r.t. logits (written into dlogits, same shape).
+func SoftmaxXent(logits []float32, labels []int, dlogits []float32, batch, classes int) float32 {
+	if len(logits) < batch*classes || len(dlogits) < batch*classes || len(labels) < batch {
+		panic("nn: SoftmaxXent buffer sizes")
+	}
+	var loss float64
+	for i := 0; i < batch; i++ {
+		li := logits[i*classes : (i+1)*classes]
+		di := dlogits[i*classes : (i+1)*classes]
+		maxv := li[0]
+		for _, v := range li {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range li {
+			e := math.Exp(float64(v - maxv))
+			di[j] = float32(e)
+			sum += e
+		}
+		y := labels[i]
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, classes))
+		}
+		p := float64(di[y]) / sum
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		inv := float32(1.0 / sum / float64(batch))
+		for j := range di {
+			di[j] *= inv
+		}
+		di[y] -= 1.0 / float32(batch)
+	}
+	return float32(loss / float64(batch))
+}
+
+// SGD applies w -= lr·g and zeroes the gradient buffer.
+func SGD(w, g []float32, lr float32) {
+	for i := range w {
+		w[i] -= lr * g[i]
+		g[i] = 0
+	}
+}
+
+// Adam applies one Adam step with bias correction; m and v are the
+// first and second moment buffers (the optimizer state K of the
+// paper's swap model). step is 1-based. The gradient buffer is
+// zeroed, matching the "Reset dW′" of Fig. 5(a).
+func Adam(w, g, m, v []float32, lr, beta1, beta2, eps float32, step int) {
+	if len(m) < len(w) || len(v) < len(w) {
+		panic("nn: Adam state buffers too small")
+	}
+	b1c := 1 - float32(math.Pow(float64(beta1), float64(step)))
+	b2c := 1 - float32(math.Pow(float64(beta2), float64(step)))
+	for i := range w {
+		gi := g[i]
+		m[i] = beta1*m[i] + (1-beta1)*gi
+		v[i] = beta2*v[i] + (1-beta2)*gi*gi
+		mh := m[i] / b1c
+		vh := v[i] / b2c
+		w[i] -= lr * mh / (float32(math.Sqrt(float64(vh))) + eps)
+		g[i] = 0
+	}
+}
+
+// XavierInit fills params with deterministic Xavier-uniform weights
+// (bias zero) using an xorshift PRNG seeded per layer — reproducible
+// without touching math/rand's global state.
+func XavierInit(l Dense, params []float32, seed uint64) {
+	limit := float32(math.Sqrt(6.0 / float64(l.In+l.Out)))
+	rng := seed*2862933555777941757 + 3037000493
+	for i := 0; i < l.In*l.Out; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		// Map to [-limit, limit).
+		u := float32(rng>>11) / float32(1<<53)
+		params[i] = (2*u - 1) * limit
+	}
+	for i := l.In * l.Out; i < l.ParamCount(); i++ {
+		params[i] = 0
+	}
+}
+
+// Argmax returns the index of the max element of row i in a
+// [rows, cols] matrix.
+func Argmax(data []float32, i, cols int) int {
+	best, bv := 0, data[i*cols]
+	for j := 1; j < cols; j++ {
+		if v := data[i*cols+j]; v > bv {
+			best, bv = j, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,177 @@
+// Package sim implements a deterministic discrete-event simulation
+// engine. It is the timing substrate for every Harmony experiment: a
+// virtual clock, an event heap ordered by (time, sequence), cooperative
+// processes, and resource primitives (FIFO servers and bandwidth
+// links) that model GPU compute streams, copy engines and PCIe links.
+//
+// The engine is deliberately free of wall-clock time and randomness so
+// that every run of the same configuration produces an identical event
+// trace; the property tests rely on this replay determinism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time float64
+
+// Infinity is a time later than any event the engine will schedule.
+const Infinity = Time(math.MaxFloat64)
+
+// event is a callback scheduled at a point in virtual time. Ties are
+// broken by seq, the order in which events were scheduled, which makes
+// the simulation fully deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all callbacks run on the goroutine that calls
+// Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Processed counts events executed; useful as a progress and
+	// runaway-loop diagnostic.
+	Processed uint64
+	// Limit aborts the run when more than Limit events execute
+	// (0 = no limit). A hard backstop against schedule bugs that
+	// would otherwise spin forever.
+	Limit uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is
+// a programming error and panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Time, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already
+// fired or cancelled event is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	if h.ev != nil && !h.ev.dead {
+		h.ev.dead = true
+	}
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the heap is empty, Stop is
+// called, or the event limit is exceeded. It returns the final virtual
+// time.
+func (e *Engine) Run() (Time, error) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			return e.now, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.at)
+		}
+		e.now = ev.at
+		e.Processed++
+		if e.Limit > 0 && e.Processed > e.Limit {
+			return e.now, fmt.Errorf("sim: event limit %d exceeded at t=%v", e.Limit, e.now)
+		}
+		ev.fn()
+	}
+	return e.now, nil
+}
+
+// RunUntil executes events with time ≤ deadline, leaving later events
+// queued. It returns the virtual time after the last executed event
+// (or the deadline if no event fired at it).
+func (e *Engine) RunUntil(deadline Time) (Time, error) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		if e.Limit > 0 && e.Processed > e.Limit {
+			return e.now, fmt.Errorf("sim: event limit %d exceeded at t=%v", e.Limit, e.now)
+		}
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now, nil
+}
+
+// Pending reports the number of events still queued (including
+// cancelled ones not yet popped).
+func (e *Engine) Pending() int { return len(e.events) }

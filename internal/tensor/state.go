@@ -1,0 +1,221 @@
+package tensor
+
+import (
+	"fmt"
+
+	"harmony/internal/hw"
+)
+
+// Location says where valid copies of a tensor currently live.
+type Location int8
+
+const (
+	// LocNone: the tensor has no materialized copy (not yet produced,
+	// or freed).
+	LocNone Location = iota
+	// LocHost: the only valid copy is in host memory.
+	LocHost
+	// LocDevice: the only valid copy is on State.Dev (host copy
+	// absent or stale).
+	LocDevice
+	// LocBoth: valid copies exist both on State.Dev and in host
+	// memory (the usual state right after a swap-in).
+	LocBoth
+)
+
+var locNames = [...]string{"none", "host", "device", "both"}
+
+func (l Location) String() string {
+	if int(l) < len(locNames) {
+		return locNames[l]
+	}
+	return fmt.Sprintf("Location(%d)", int(l))
+}
+
+// State is the lifetime state machine for one tensor. All transitions
+// validate preconditions and return an error on misuse so scheduler
+// bugs surface as errors instead of silently wrong swap accounting.
+//
+//	       AllocHost                AllocDevice
+//	none ────────────▶ host   none ────────────▶ device(dirty)
+//	host ──SwapIn──▶ both     device ──SwapOut──▶ host (writeback)
+//	both ──Drop──▶ host       both ──MarkDirty──▶ device
+//	any  ──Free──▶ none       device ──Migrate──▶ device' (p2p)
+type State struct {
+	Tensor *Tensor
+	Loc    Location
+	// Dev is the device holding the device copy; meaningful only for
+	// LocDevice and LocBoth.
+	Dev hw.DeviceID
+	// Pins counts tasks currently requiring the device copy to stay
+	// resident; a pinned tensor must not be evicted.
+	Pins int
+	// InFlight marks an ongoing swap or migration; a tensor may be
+	// part of at most one transfer at a time.
+	InFlight bool
+}
+
+// NewState returns the state machine for a tensor, starting at
+// LocNone.
+func NewState(t *Tensor) *State { return &State{Tensor: t, Dev: hw.Host} }
+
+func (s *State) fail(op string) error {
+	return fmt.Errorf("tensor %s: invalid %s in state {loc=%s dev=%s pins=%d inflight=%v}",
+		s.Tensor, op, s.Loc, s.Dev, s.Pins, s.InFlight)
+}
+
+// OnDevice reports whether a valid copy is resident on dev.
+func (s *State) OnDevice(dev hw.DeviceID) bool {
+	return (s.Loc == LocDevice || s.Loc == LocBoth) && s.Dev == dev
+}
+
+// OnAnyDevice reports whether a valid device copy exists anywhere.
+func (s *State) OnAnyDevice() bool {
+	return s.Loc == LocDevice || s.Loc == LocBoth
+}
+
+// HostValid reports whether the host copy is valid.
+func (s *State) HostValid() bool { return s.Loc == LocHost || s.Loc == LocBoth }
+
+// Dirty reports whether the device copy is the only valid copy (so
+// eviction requires writeback).
+func (s *State) Dirty() bool { return s.Loc == LocDevice }
+
+// AllocHost materializes the tensor in host memory (e.g. initial
+// weights before training starts).
+func (s *State) AllocHost() error {
+	if s.Loc != LocNone || s.InFlight {
+		return s.fail("AllocHost")
+	}
+	s.Loc = LocHost
+	s.Dev = hw.Host
+	return nil
+}
+
+// AllocDevice materializes the tensor directly on a device (e.g. an
+// activation produced by a kernel). The new copy is dirty: no host
+// copy exists.
+func (s *State) AllocDevice(dev hw.DeviceID) error {
+	if s.Loc != LocNone || s.InFlight || dev == hw.Host {
+		return s.fail("AllocDevice")
+	}
+	s.Loc = LocDevice
+	s.Dev = dev
+	return nil
+}
+
+// BeginSwapIn starts a host→device copy. The host copy must be valid
+// and no device copy may exist.
+func (s *State) BeginSwapIn(dev hw.DeviceID) error {
+	if s.Loc != LocHost || s.InFlight || dev == hw.Host {
+		return s.fail("BeginSwapIn")
+	}
+	s.InFlight = true
+	s.Dev = dev
+	return nil
+}
+
+// EndSwapIn completes a swap-in: both copies now valid.
+func (s *State) EndSwapIn() error {
+	if !s.InFlight || s.Loc != LocHost {
+		return s.fail("EndSwapIn")
+	}
+	s.InFlight = false
+	s.Loc = LocBoth
+	return nil
+}
+
+// BeginSwapOut starts a device→host writeback. Requires a device copy
+// and no pins. Swapping out a clean (LocBoth) tensor is legal — naive
+// virtualization writes back unconditionally — but Drop is free.
+func (s *State) BeginSwapOut() error {
+	if !s.OnAnyDevice() || s.InFlight || s.Pins > 0 {
+		return s.fail("BeginSwapOut")
+	}
+	s.InFlight = true
+	return nil
+}
+
+// EndSwapOut completes the writeback: the device copy is released and
+// the host copy is valid.
+func (s *State) EndSwapOut() error {
+	if !s.InFlight || !s.OnAnyDevice() {
+		return s.fail("EndSwapOut")
+	}
+	s.InFlight = false
+	s.Loc = LocHost
+	s.Dev = hw.Host
+	return nil
+}
+
+// Drop releases a clean device copy without any transfer. Only legal
+// when the host copy is valid (LocBoth) and the tensor is unpinned.
+func (s *State) Drop() error {
+	if s.Loc != LocBoth || s.InFlight || s.Pins > 0 {
+		return s.fail("Drop")
+	}
+	s.Loc = LocHost
+	s.Dev = hw.Host
+	return nil
+}
+
+// MarkDirty records that a kernel on dev mutated the device copy,
+// invalidating the host copy.
+func (s *State) MarkDirty(dev hw.DeviceID) error {
+	if !s.OnDevice(dev) {
+		return s.fail("MarkDirty")
+	}
+	s.Loc = LocDevice
+	return nil
+}
+
+// BeginMigrate starts a device→device p2p move. Requires a device
+// copy and no pins.
+func (s *State) BeginMigrate(to hw.DeviceID) error {
+	if !s.OnAnyDevice() || s.InFlight || s.Pins > 0 || to == hw.Host || to == s.Dev {
+		return s.fail("BeginMigrate")
+	}
+	s.InFlight = true
+	return nil
+}
+
+// EndMigrate completes a p2p move: the device copy now lives on `to`;
+// host validity is unchanged (a dirty tensor stays dirty).
+func (s *State) EndMigrate(to hw.DeviceID) error {
+	if !s.InFlight || !s.OnAnyDevice() {
+		return s.fail("EndMigrate")
+	}
+	s.InFlight = false
+	s.Dev = to
+	return nil
+}
+
+// Pin marks the device copy as required-resident. Only valid when a
+// device copy exists and is not mid-transfer.
+func (s *State) Pin() error {
+	if !s.OnAnyDevice() || s.InFlight {
+		return s.fail("Pin")
+	}
+	s.Pins++
+	return nil
+}
+
+// Unpin releases one pin.
+func (s *State) Unpin() error {
+	if s.Pins <= 0 {
+		return s.fail("Unpin")
+	}
+	s.Pins--
+	return nil
+}
+
+// Free destroys the tensor (all copies). Consumed activations are
+// freed as soon as their last reader finishes.
+func (s *State) Free() error {
+	if s.InFlight || s.Pins > 0 {
+		return s.fail("Free")
+	}
+	s.Loc = LocNone
+	s.Dev = hw.Host
+	return nil
+}

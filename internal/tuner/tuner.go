@@ -1,0 +1,327 @@
+// Package tuner implements Harmony's Performance Tuner (paper Fig. 3):
+// it profiles candidate configurations — group size, microbatch size,
+// prefetch, update deferral — by running short measured simulations,
+// and searches the "memory–performance tango" of §4 for the
+// configuration that maximizes steady-state throughput subject to
+// feasibility (every task must fit in device memory).
+//
+// The paper leaves "algorithmically determining the optimal task
+// granularity and the size of microbatches" as an open problem and
+// suggests online tuning; this tuner is the straightforward
+// measure-and-pick instantiation over a deterministic simulator, with
+// an optional greedy hill-climbing mode for larger spaces.
+package tuner
+
+import (
+	"fmt"
+	"sort"
+
+	"harmony/internal/graph"
+	"harmony/internal/hw"
+	"harmony/internal/models"
+	"harmony/internal/runtime"
+	"harmony/internal/sched"
+	"harmony/internal/sweep"
+)
+
+// Candidate is one point of the search space.
+type Candidate struct {
+	// MicrobatchSize × Microbatches is held equal to the requested
+	// per-replica batch across candidates, so throughput numbers are
+	// comparable.
+	MicrobatchSize int
+	Microbatches   int
+	GroupSize      int
+	Prefetch       bool
+	Defer          bool
+	// Interleave runs grouped pipeline waves in 1F1B order (only
+	// meaningful for pipeline modes with a sub-batch group size).
+	Interleave bool
+}
+
+func (c Candidate) String() string {
+	s := fmt.Sprintf("mb=%d×%d group=%d prefetch=%v", c.MicrobatchSize, c.Microbatches, c.GroupSize, c.Prefetch)
+	if c.Defer {
+		s += " defer=true"
+	}
+	if c.Interleave {
+		s += " interleave=true"
+	}
+	return s
+}
+
+// Measurement is the outcome of profiling one candidate.
+type Measurement struct {
+	Candidate  Candidate
+	Throughput float64 // samples/second; 0 when infeasible
+	SwapGB     float64 // per-iteration swap traffic (in+out)
+	P2PGB      float64
+	IterSec    float64
+	Feasible   bool
+	Err        string // infeasibility reason
+}
+
+// Config describes a tuning session.
+type Config struct {
+	Model *models.Model
+	Mode  sched.Mode
+	Box   hw.BoxConfig
+	// BatchPerReplica is the samples each replica processes per
+	// iteration; candidates factor it into microbatches differently.
+	BatchPerReplica int
+	// MeasureIters per candidate (default 2).
+	MeasureIters int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("tuner: nil model")
+	}
+	if c.BatchPerReplica <= 0 {
+		return fmt.Errorf("tuner: BatchPerReplica must be positive, got %d", c.BatchPerReplica)
+	}
+	return c.Box.Validate()
+}
+
+// Result is a completed tuning session.
+type Result struct {
+	Best         Measurement
+	Measurements []Measurement // all candidates, best first
+	Explored     int
+}
+
+// Space enumerates the default candidate grid for a batch size:
+// every divisor split of the batch into microbatches, group sizes at
+// the interesting powers, and both binary knobs where they matter.
+func Space(mode sched.Mode, batch int) []Candidate {
+	var out []Candidate
+	for _, mbs := range divisors(batch) {
+		m := batch / mbs
+		groups := []int{0}
+		if m > 1 {
+			for _, g := range divisors(m) {
+				if g != m { // 0 already means "all"
+					groups = append(groups, g)
+				}
+			}
+		}
+		for _, g := range groups {
+			for _, pf := range []bool{true, false} {
+				defers := []bool{false}
+				if mode == sched.HarmonyDP {
+					defers = []bool{false, true}
+				}
+				interleaves := []bool{false}
+				if mode.IsPipeline() && g > 0 {
+					interleaves = []bool{false, true}
+				}
+				for _, df := range defers {
+					for _, il := range interleaves {
+						out = append(out, Candidate{
+							MicrobatchSize: mbs, Microbatches: m,
+							GroupSize: g, Prefetch: pf, Defer: df, Interleave: il,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func divisors(n int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run profiles every candidate in the grid and returns them sorted by
+// throughput (best first). Infeasible candidates are kept with their
+// error so callers can see the feasibility frontier.
+func Run(cfg Config, gpus int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return measureAll(cfg, gpus, Space(cfg.Mode, cfg.BatchPerReplica))
+}
+
+// HillClimb explores the space greedily: it starts from the fully
+// grouped, prefetching candidate and moves to the best neighbor until
+// no neighbor improves. For large batches this measures far fewer
+// candidates than Run while typically finding the same optimum
+// (greedy works well because throughput is unimodal along each knob
+// in practice).
+func HillClimb(cfg Config, gpus int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := Candidate{MicrobatchSize: 1, Microbatches: cfg.BatchPerReplica, GroupSize: 0, Prefetch: true}
+	seen := map[Candidate]Measurement{}
+	measure := func(c Candidate) Measurement {
+		if m, ok := seen[c]; ok {
+			return m
+		}
+		m := measureOne(cfg, gpus, c)
+		seen[c] = m
+		return m
+	}
+	cur := measure(start)
+	for {
+		improved := false
+		for _, nb := range neighbors(cfg, cur.Candidate) {
+			m := measure(nb)
+			if m.Feasible && m.Throughput > cur.Throughput {
+				cur = m
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res := &Result{Best: cur, Explored: len(seen)}
+	for _, m := range seen {
+		res.Measurements = append(res.Measurements, m)
+	}
+	sortMeasurements(res.Measurements)
+	return res, nil
+}
+
+// neighbors perturbs one knob at a time.
+func neighbors(cfg Config, c Candidate) []Candidate {
+	var out []Candidate
+	batch := cfg.BatchPerReplica
+	// Halve/double the microbatch size along divisor boundaries.
+	for _, mbs := range divisors(batch) {
+		if mbs == c.MicrobatchSize*2 || (c.MicrobatchSize%2 == 0 && mbs == c.MicrobatchSize/2) {
+			out = append(out, Candidate{MicrobatchSize: mbs, Microbatches: batch / mbs,
+				GroupSize: 0, Prefetch: c.Prefetch, Defer: c.Defer})
+		}
+	}
+	// Step the group size among divisors of m.
+	m := c.Microbatches
+	ds := divisors(m)
+	curG := c.GroupSize
+	if curG == 0 {
+		curG = m
+	}
+	for i, d := range ds {
+		if d == curG {
+			if i > 0 {
+				out = append(out, withGroup(c, ds[i-1], m))
+			}
+			if i+1 < len(ds) {
+				out = append(out, withGroup(c, ds[i+1], m))
+			}
+		}
+	}
+	// Flip the binary knobs.
+	flipped := c
+	flipped.Prefetch = !c.Prefetch
+	out = append(out, flipped)
+	if cfg.Mode == sched.HarmonyDP {
+		flipped = c
+		flipped.Defer = !c.Defer
+		out = append(out, flipped)
+	}
+	if cfg.Mode.IsPipeline() && c.GroupSize > 0 {
+		flipped = c
+		flipped.Interleave = !c.Interleave
+		out = append(out, flipped)
+	}
+	return out
+}
+
+func withGroup(c Candidate, g, m int) Candidate {
+	if g == m {
+		g = 0
+	}
+	c.GroupSize = g
+	return c
+}
+
+func measureAll(cfg Config, gpus int, cands []Candidate) (*Result, error) {
+	res := &Result{}
+	// Candidate measurements are independent deterministic
+	// simulations: profile them on all cores.
+	ms, err := sweep.Run(cands, 0, func(c Candidate) (Measurement, error) {
+		return measureOne(cfg, gpus, c), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Measurements = ms
+	res.Explored = len(ms)
+	sortMeasurements(res.Measurements)
+	if len(res.Measurements) == 0 || !res.Measurements[0].Feasible {
+		return res, fmt.Errorf("tuner: no feasible candidate for %s on %d GPUs", cfg.Model.Name, gpus)
+	}
+	res.Best = res.Measurements[0]
+	return res, nil
+}
+
+func sortMeasurements(ms []Measurement) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Feasible != ms[j].Feasible {
+			return ms[i].Feasible
+		}
+		if ms[i].Throughput != ms[j].Throughput {
+			return ms[i].Throughput > ms[j].Throughput
+		}
+		return ms[i].Candidate.String() < ms[j].Candidate.String()
+	})
+}
+
+func measureOne(cfg Config, gpus int, c Candidate) Measurement {
+	out := Measurement{Candidate: c}
+	replicas := gpus
+	if cfg.Mode.IsPipeline() {
+		replicas = 1
+	}
+	mbCount := c.Microbatches
+	if cfg.Mode.IsPipeline() {
+		// Pipeline processes the global batch as one stream of
+		// microbatches.
+		mbCount = c.Microbatches * gpus
+	}
+	g, err := graph.Build(graph.Config{
+		Model:          cfg.Model,
+		MicrobatchSize: c.MicrobatchSize,
+		Microbatches:   mbCount,
+		Replicas:       replicas,
+	})
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	opts := sched.DefaultOptions(cfg.Mode)
+	opts.GroupSize = c.GroupSize
+	opts.Prefetch = c.Prefetch
+	opts.DeferBlockedUpdates = c.Defer
+	opts.WaveInterleave = c.Interleave
+	s, err := sched.Build(g, opts, gpus)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	iters := cfg.MeasureIters
+	if iters == 0 {
+		iters = 2
+	}
+	res, err := runtime.Run(runtime.Config{Box: cfg.Box, Schedule: s, WarmupIters: 1, MeasureIters: iters})
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Feasible = true
+	out.Throughput = res.Throughput
+	out.SwapGB = float64(res.SwapInBytes+res.SwapOutBytes) / (1 << 30)
+	out.P2PGB = float64(res.P2PBytes) / (1 << 30)
+	out.IterSec = float64(res.IterTime)
+	return out
+}

@@ -1,0 +1,238 @@
+package harmony
+
+import (
+	"fmt"
+	"io"
+
+	"harmony/internal/data"
+	"harmony/internal/exec"
+	"harmony/internal/nn"
+)
+
+// TrainerConfig configures real (float32) training of an MLP
+// classifier on capacity-limited virtual devices — the end-to-end
+// demonstration of Harmony's coherent virtual memory. Users write
+// against one logical model "as if running sequentially on a single
+// device" (paper §3); Harmony decomposes, schedules and swaps.
+type TrainerConfig struct {
+	// Widths is the MLP shape: input dimension, hidden layers...,
+	// number of classes.
+	Widths []int
+	// Mode and Devices select the parallel strategy.
+	Mode    Mode
+	Devices int
+	// DeviceBytes is each virtual device's memory capacity. Set it
+	// below the model footprint (see Trainer.FootprintBytes) to
+	// exercise virtualized training.
+	DeviceBytes int64
+	// BatchSize is the per-replica samples per iteration; Harmony
+	// splits it into Microbatches microbatches (default: one sample
+	// per microbatch up to 8 microbatches).
+	BatchSize    int
+	Microbatches int
+	// Adam selects the Adam optimizer (SGD otherwise); LR is the
+	// learning rate (default 0.05 SGD, 0.005 Adam).
+	Adam bool
+	LR   float32
+	Seed uint64
+	// Toggles override the mode's default optimizations.
+	Toggles *Toggles
+}
+
+// Trainer trains a real model through Harmony's runtime.
+type Trainer struct {
+	inner   *exec.Trainer
+	widths  []int
+	mbSize  int
+	mbCount int
+	step    uint64
+}
+
+// NewTrainer validates the configuration and builds the trainer.
+func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("harmony: BatchSize must be positive")
+	}
+	mbCount := cfg.Microbatches
+	if mbCount == 0 {
+		mbCount = cfg.BatchSize
+		if mbCount > 8 {
+			mbCount = 8
+		}
+	}
+	if cfg.BatchSize%mbCount != 0 {
+		return nil, fmt.Errorf("harmony: BatchSize %d not divisible into %d microbatches", cfg.BatchSize, mbCount)
+	}
+	lr := cfg.LR
+	if lr == 0 {
+		if cfg.Adam {
+			lr = 0.005
+		} else {
+			lr = 0.05
+		}
+	}
+	opt := exec.SGD
+	if cfg.Adam {
+		opt = exec.Adam
+	}
+	mode := cfg.Mode.sched()
+	var schedOpts *execOptions
+	if cfg.Toggles != nil {
+		o := cfg.Toggles.apply(defaultOptions(mode))
+		schedOpts = &o
+	}
+	inner, err := exec.NewTrainer(exec.TrainerConfig{
+		Widths:         cfg.Widths,
+		Mode:           mode,
+		Devices:        cfg.Devices,
+		DeviceBytes:    cfg.DeviceBytes,
+		MicrobatchSize: cfg.BatchSize / mbCount,
+		Microbatches:   mbCount,
+		Optimizer:      opt,
+		LR:             lr,
+		Seed:           cfg.Seed,
+		Options:        schedOpts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{
+		inner:   inner,
+		widths:  cfg.Widths,
+		mbSize:  cfg.BatchSize / mbCount,
+		mbCount: mbCount,
+	}, nil
+}
+
+// Step runs one iteration on a flattened [BatchSize×Widths[0]] input
+// and its labels, returning the mean loss. For multi-replica (DP)
+// modes the same batch shape is required per replica, so inputs and
+// labels must hold Replicas()×BatchSize samples.
+func (t *Trainer) Step(inputs []float32, labels []int) (float32, error) {
+	n := t.inner.Replicas()
+	inDim := t.widths[0]
+	perReplica := t.mbSize * t.mbCount
+	if len(labels) != n*perReplica || len(inputs) != n*perReplica*inDim {
+		return 0, fmt.Errorf("harmony: Step needs %d samples (%d replicas × %d), got %d",
+			n*perReplica, n, perReplica, len(labels))
+	}
+	in := make([][][]float32, n)
+	lb := make([][][]int, n)
+	for r := 0; r < n; r++ {
+		in[r] = make([][]float32, t.mbCount)
+		lb[r] = make([][]int, t.mbCount)
+		for i := 0; i < t.mbCount; i++ {
+			off := (r*t.mbCount + i) * t.mbSize
+			in[r][i] = inputs[off*inDim : (off+t.mbSize)*inDim]
+			lb[r][i] = labels[off : off+t.mbSize]
+		}
+	}
+	t.step++
+	return t.inner.Step(in, lb)
+}
+
+// Predict runs inference with the current weights and returns logits
+// for a flattened [batch×Widths[0]] input.
+func (t *Trainer) Predict(inputs []float32, batch int) ([]float32, error) {
+	return t.inner.Predict(inputs, batch)
+}
+
+// Replicas reports the number of data-parallel model replicas.
+func (t *Trainer) Replicas() int { return t.inner.Replicas() }
+
+// SamplesPerStep is the total samples one Step consumes.
+func (t *Trainer) SamplesPerStep() int { return t.inner.Replicas() * t.mbSize * t.mbCount }
+
+// FootprintBytes is the persistent model footprint per replica set.
+func (t *Trainer) FootprintBytes() int64 { return t.inner.FootprintBytes() }
+
+// Stats reports real data-movement counters (bytes actually copied
+// between virtual device memory and host backing).
+type Stats = exec.VMStats
+
+// Stats returns accumulated data-movement counters.
+func (t *Trainer) Stats() Stats { return t.inner.Stats() }
+
+// Blobs re-exports the synthetic dataset generator used by the
+// examples: Gaussian class blobs.
+type Blobs = data.Blobs
+
+// NewBlobs creates a deterministic synthetic classification dataset.
+func NewBlobs(dim, classes int, noise float32, seed uint64) *Blobs {
+	return data.NewBlobs(dim, classes, noise, seed)
+}
+
+// NewLeNetTrainer builds a trainer for a LeNet-5-style convolutional
+// classifier on 32×32 single-channel inputs (10 classes) — the 1998
+// starting point of the paper's Fig. 1 — running through the same
+// coherent virtual memory as the MLP trainer.
+func NewLeNetTrainer(cfg TrainerConfig) (*Trainer, error) {
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("harmony: BatchSize must be positive")
+	}
+	mbCount := cfg.Microbatches
+	if mbCount == 0 {
+		mbCount = cfg.BatchSize
+		if mbCount > 8 {
+			mbCount = 8
+		}
+	}
+	if cfg.BatchSize%mbCount != 0 {
+		return nil, fmt.Errorf("harmony: BatchSize %d not divisible into %d microbatches", cfg.BatchSize, mbCount)
+	}
+	lr := cfg.LR
+	if lr == 0 {
+		lr = 0.05
+	}
+	opt := exec.SGD
+	if cfg.Adam {
+		opt = exec.Adam
+		if cfg.LR == 0 {
+			lr = 0.005
+		}
+	}
+	kernels := []nn.Kernel{
+		nn.Conv2D{Cin: 1, H: 32, W: 32, Cout: 6, K: 5, ReLU: true},
+		nn.MaxPool2D{C: 6, H: 28, W: 28, P: 2},
+		nn.Conv2D{Cin: 6, H: 14, W: 14, Cout: 16, K: 5, ReLU: true},
+		nn.MaxPool2D{C: 16, H: 10, W: 10, P: 2},
+		nn.Dense{In: 16 * 5 * 5, Out: 120, ReLU: true},
+		nn.Dense{In: 120, Out: 84, ReLU: true},
+		nn.Dense{In: 84, Out: 10},
+	}
+	mode := cfg.Mode.sched()
+	var schedOpts *execOptions
+	if cfg.Toggles != nil {
+		o := cfg.Toggles.apply(defaultOptions(mode))
+		schedOpts = &o
+	}
+	inner, err := exec.NewTrainer(exec.TrainerConfig{
+		Kernels:        kernels,
+		Mode:           mode,
+		Devices:        cfg.Devices,
+		DeviceBytes:    cfg.DeviceBytes,
+		MicrobatchSize: cfg.BatchSize / mbCount,
+		Microbatches:   mbCount,
+		Optimizer:      opt,
+		LR:             lr,
+		Seed:           cfg.Seed,
+		Options:        schedOpts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{
+		inner:   inner,
+		widths:  []int{32 * 32, 10},
+		mbSize:  cfg.BatchSize / mbCount,
+		mbCount: mbCount,
+	}, nil
+}
+
+// Save writes a checkpoint of the model's weights, optimizer state
+// and step counter (dirty device copies are synced first).
+func (t *Trainer) Save(w io.Writer) error { return t.inner.Save(w) }
+
+// Load restores a checkpoint into all replicas; the architecture must
+// match.
+func (t *Trainer) Load(r io.Reader) error { return t.inner.Load(r) }
