@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the tier-1 gate: everything
+# a change must pass before merging, including the race detector over
+# the concurrent executor and memory manager.
+
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The exec executor and memory manager are the only packages with real
+# concurrency; race-check them specifically (the full suite under
+# -race is much slower).
+race:
+	$(GO) test -race ./internal/exec/... ./internal/memory/...
+
+# Executor ablation: serial reference vs parallel device workers.
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkTrainerStep' -benchmem .
+
+check: vet build test race

@@ -12,6 +12,7 @@ package harmony
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"harmony/internal/experiments"
 	"harmony/internal/hw"
@@ -226,6 +227,86 @@ func BenchmarkRealTrainingStep(b *testing.B) {
 	}
 	st := tr.Stats()
 	b.ReportMetric(float64(st.SwapInBytes)/float64(b.N)/(1<<20), "MB-swapped-in/step")
+}
+
+// stepWorkloads are the executor-ablation workloads: an MNIST-sized
+// MLP and a wider BERT-tiny-sized stack, both data-parallel over two
+// devices with enough memory that kernel time (not swapping)
+// dominates.
+var stepWorkloads = []struct {
+	name   string
+	widths []int
+}{
+	{"mnist-mlp", []int{784, 512, 512, 10}},
+	{"bert-tiny-mlp", []int{512, 1024, 1024, 1024, 10}},
+}
+
+func stepTrainer(b *testing.B, widths []int, serial bool) (*Trainer, []float32, []int) {
+	b.Helper()
+	tr, err := NewTrainer(TrainerConfig{
+		Widths:      widths,
+		Mode:        HarmonyDP,
+		Devices:     2,
+		DeviceBytes: 64 << 20,
+		BatchSize:   64,
+		Seed:        1,
+		Serial:      serial,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	blobs := NewBlobs(widths[0], widths[len(widths)-1], 1.0, 3)
+	x, y := blobs.Batch(tr.SamplesPerStep(), 0)
+	return tr, x, y
+}
+
+func benchTrainerStep(b *testing.B, widths []int, serial bool) {
+	tr, x, y := stepTrainer(b, widths, serial)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// timeSteps measures mean wall time per Step over a fixed run.
+func timeSteps(b *testing.B, widths []int, serial bool, steps int) time.Duration {
+	b.Helper()
+	tr, x, y := stepTrainer(b, widths, serial)
+	if _, err := tr.Step(x, y); err != nil { // warm caches and pools
+		b.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		if _, err := tr.Step(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return time.Since(start) / time.Duration(steps)
+}
+
+// BenchmarkTrainerStepSerial is the ablation baseline: the original
+// single-threaded polling executor.
+func BenchmarkTrainerStepSerial(b *testing.B) {
+	for _, w := range stepWorkloads {
+		b.Run(w.name, func(b *testing.B) { benchTrainerStep(b, w.widths, true) })
+	}
+}
+
+// BenchmarkTrainerStepParallel measures the parallel device-worker
+// executor on the same workloads and reports its speedup over the
+// serial reference (expect ≥1.5× on ≥4-core machines; ~1× on one
+// core, where the pool runs inline).
+func BenchmarkTrainerStepParallel(b *testing.B) {
+	for _, w := range stepWorkloads {
+		b.Run(w.name, func(b *testing.B) {
+			serial := timeSteps(b, w.widths, true, 3)
+			parallel := timeSteps(b, w.widths, false, 3)
+			benchTrainerStep(b, w.widths, false)
+			b.ReportMetric(float64(serial)/float64(parallel), "speedup-vs-serial")
+		})
+	}
 }
 
 // BenchmarkSimulatorSpeed measures raw simulator performance: events

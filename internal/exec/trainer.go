@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"harmony/internal/graph"
 	"harmony/internal/models"
@@ -47,6 +48,12 @@ type TrainerConfig struct {
 	Seed           uint64
 	// Options overrides sched.DefaultOptions(Mode) when non-nil.
 	Options *sched.Options
+	// Serial forces the single-threaded reference executor (the
+	// original polling loop). The default is the parallel
+	// device-worker executor; both produce bit-identical weights
+	// and losses — Serial exists for determinism tests and ablation
+	// benchmarks.
+	Serial bool
 }
 
 // Trainer runs real training iterations.
@@ -59,6 +66,15 @@ type Trainer struct {
 	s       *sched.Schedule
 	vm      *VM
 	step    int
+
+	// streams are the per-device execution streams with collectives
+	// woven in at their rendezvous anchors; parties[i] is how many
+	// device workers meet at collective i. Built once at NewTrainer,
+	// checked for liveness once at the first Step.
+	streams [][]streamEntry
+	parties []int
+	valOnce sync.Once
+	valErr  error
 }
 
 // NewTrainer builds the model, task graph, schedule and virtual
@@ -115,6 +131,10 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 	if err != nil {
 		return nil, err
 	}
+	streams, parties, err := buildStreams(s)
+	if err != nil {
+		return nil, err
+	}
 	tr := &Trainer{
 		cfg:     cfg,
 		layers:  layers,
@@ -123,6 +143,8 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		g:       g,
 		s:       s,
 		vm:      NewVM(cfg.Devices, cfg.DeviceBytes, s.MemPolicy),
+		streams: streams,
+		parties: parties,
 	}
 	// Persistent state: identical weights in every replica, zero
 	// gradients and optimizer state.
@@ -164,8 +186,10 @@ func kernelModel(layers []nn.Kernel, adam bool) *models.Model {
 	return m
 }
 
-// Stats returns data-movement counters accumulated so far.
-func (tr *Trainer) Stats() VMStats { return tr.vm.Stats }
+// Stats returns data-movement counters accumulated so far. The
+// snapshot is taken under the VM lock, so it is safe to call between
+// steps of a parallel trainer (never concurrently with one).
+func (tr *Trainer) Stats() VMStats { return tr.vm.StatsSnapshot() }
 
 // Model reports the derived model's footprint for sizing examples.
 func (tr *Trainer) FootprintBytes() int64 {
@@ -188,92 +212,76 @@ func (tr *Trainer) batchesNeeded() int { return tr.g.Cfg.Microbatches }
 // Step runs one training iteration. inputs[r][i] is the microbatch i
 // fed to replica r (flattened [MicrobatchSize × Widths[0]]), labels
 // likewise. It returns the mean loss across all microbatches.
+//
+// The iteration runs on the parallel device-worker executor unless
+// cfg.Serial forces the single-threaded reference path; both produce
+// bit-identical weights and losses (see executor.go).
 func (tr *Trainer) Step(inputs [][][]float32, labels [][][]int) (float32, error) {
-	R := len(tr.layers)
 	m := tr.batchesNeeded()
 	N := tr.g.Cfg.Replicas
 	if len(inputs) != N || len(labels) != N {
 		return 0, fmt.Errorf("exec: need data for %d replicas, got %d", N, len(inputs))
 	}
 	batch := tr.cfg.MicrobatchSize
-	inDim := tr.inDim
-	classes := tr.classes
 	for r := 0; r < N; r++ {
 		if len(inputs[r]) != m || len(labels[r]) != m {
 			return 0, fmt.Errorf("exec: replica %d needs %d microbatches", r, m)
 		}
 		for i := 0; i < m; i++ {
-			if len(inputs[r][i]) != batch*inDim {
+			if len(inputs[r][i]) != batch*tr.inDim {
 				return 0, fmt.Errorf("exec: input %d/%d has %d floats, want %d",
-					r, i, len(inputs[r][i]), batch*inDim)
+					r, i, len(inputs[r][i]), batch*tr.inDim)
 			}
 			if len(labels[r][i]) != batch {
 				return 0, fmt.Errorf("exec: labels %d/%d has %d entries, want %d",
 					r, i, len(labels[r][i]), batch)
 			}
+			// Validate labels up front: a bad label would otherwise
+			// surface as a panic deep inside a backward kernel.
+			for _, y := range labels[r][i] {
+				if y < 0 || y >= tr.classes {
+					return 0, fmt.Errorf("exec: label %d out of range [0,%d) in microbatch %d/%d",
+						y, tr.classes, r, i)
+				}
+			}
+		}
+	}
+	// Prove the woven streams can complete before touching any weight:
+	// a cyclic or mis-anchored schedule is reported as a deadlock
+	// instead of hanging the device workers.
+	tr.valOnce.Do(func() {
+		tr.valErr = validateStreams(tr.g.Tasks, tr.streams, tr.parties)
+	})
+	if tr.valErr != nil {
+		return 0, tr.valErr
+	}
+	for r := 0; r < N; r++ {
+		for i := 0; i < m; i++ {
 			host := tr.vm.HostAlloc(tr.g.Act[r][0][i])
 			copy(host, inputs[r][i])
 		}
 	}
 	tr.step++
 
-	// Execute the schedule: advance each device's queue when its head
-	// task's dependencies are done; collectives run as they become
-	// ready. Everything is synchronous real math.
-	depsLeft := make([]int, len(tr.g.Tasks))
-	for _, t := range tr.g.Tasks {
-		depsLeft[t.ID] = len(t.Deps)
+	ex := newExecutor(tr, labels)
+	var err error
+	if tr.cfg.Serial {
+		err = ex.runSerial()
+	} else {
+		err = ex.run(tr.streams, tr.parties)
 	}
-	cursors := make([]int, tr.s.NGPUs)
+	if err != nil {
+		return 0, err
+	}
+
+	// Reduce losses in task-ID order regardless of which executor ran
+	// (and in which interleaving), so both report bit-identical means.
 	var totalLoss float64
 	lossCount := 0
-
-	complete := func(t *graph.Task) {
-		for _, s := range t.Succs {
-			depsLeft[s.ID]--
-		}
-	}
-	pendingAR := append([]*graph.Task(nil), tr.s.Collectives...)
-
-	done := 0
-	total := len(tr.g.Tasks)
-	for done < total {
-		progress := false
-		// Collectives first: they unblock updates on every device.
-		for i := 0; i < len(pendingAR); i++ {
-			ar := pendingAR[i]
-			if depsLeft[ar.ID] > 0 {
-				continue
-			}
-			if err := tr.runAllReduce(ar); err != nil {
-				return 0, err
-			}
-			complete(ar)
-			pendingAR = append(pendingAR[:i], pendingAR[i+1:]...)
-			i--
-			done++
-			progress = true
-		}
-		for d := 0; d < tr.s.NGPUs; d++ {
-			q := tr.s.Queues[d]
-			for cursors[d] < len(q) && depsLeft[q[cursors[d]].ID] == 0 {
-				t := q[cursors[d]]
-				loss, counted, err := tr.runTask(d, t, labels)
-				if err != nil {
-					return 0, fmt.Errorf("exec: %s on gpu%d: %w", t, d, err)
-				}
-				if counted {
-					totalLoss += float64(loss)
-					lossCount++
-				}
-				complete(t)
-				cursors[d]++
-				done++
-				progress = true
-			}
-		}
-		if !progress {
-			return 0, fmt.Errorf("exec: schedule deadlocked with %d/%d tasks done", done, total)
+	for id, c := range ex.counted {
+		if c {
+			totalLoss += float64(ex.losses[id])
+			lossCount++
 		}
 	}
 
@@ -288,8 +296,6 @@ func (tr *Trainer) Step(inputs [][][]float32, labels [][][]int) (float32, error)
 	if lossCount == 0 {
 		return 0, fmt.Errorf("exec: no loss computed")
 	}
-	_ = R
-	_ = classes
 	return float32(totalLoss / float64(lossCount)), nil
 }
 
@@ -350,7 +356,8 @@ func (tr *Trainer) runTask(dev int, t *graph.Task, labels [][][]int) (float32, b
 				return 0, false, err
 			}
 			classes := layer.OutSize()
-			dy = make([]float32, batch*classes)
+			dy = nn.GetScratch(batch * classes)
+			defer nn.PutScratch(dy)
 			loss = nn.SoftmaxXent(logits, labels[t.Replica][t.Microbatch], dy, batch, classes)
 			counted = true
 			if err := tr.vm.Unpin(g.Act[t.Replica][t.Layer+1][t.Microbatch]); err != nil {
@@ -431,10 +438,20 @@ func (tr *Trainer) runTask(dev int, t *graph.Task, labels [][][]int) (float32, b
 	}
 }
 
-// runAllReduce averages the gradient buffers across replicas (real
-// math: the buffers end up identical on every device).
-func (tr *Trainer) runAllReduce(ar *graph.Task) error {
+// runCollective executes a collective task. AllReduce averages the
+// gradient buffers across replicas (real math: the buffers end up
+// identical on every device). The reduction fans across the kernel
+// worker pool over disjoint index ranges; each element still sums the
+// replicas in fixed order, so the result is bit-identical at any
+// worker count.
+func (tr *Trainer) runCollective(ar *graph.Task) error {
+	if ar.Kind != graph.AllReduce {
+		return fmt.Errorf("exec: unsupported collective kind %v", ar.Kind)
+	}
 	n := len(ar.Inputs)
+	if n == 0 {
+		return fmt.Errorf("exec: collective %s has no inputs", ar)
+	}
 	views := make([][]float32, n)
 	for i, in := range ar.Inputs {
 		v, err := tr.vm.Ensure(i, in) // replica i trains on device i
@@ -445,16 +462,22 @@ func (tr *Trainer) runAllReduce(ar *graph.Task) error {
 	}
 	floats := int(ar.Inputs[0].Bytes / 4)
 	inv := float32(1) / float32(n)
-	for j := 0; j < floats; j++ {
-		var s float32
-		for i := 0; i < n; i++ {
-			s += views[i][j]
-		}
-		s *= inv
-		for i := 0; i < n; i++ {
-			views[i][j] = s
-		}
+	grain := (1 << 16) / (2 * n) // ~64k scalar ops per chunk
+	if grain < 1 {
+		grain = 1
 	}
+	nn.ParallelFor(floats, grain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			var s float32
+			for i := 0; i < n; i++ {
+				s += views[i][j]
+			}
+			s *= inv
+			for i := 0; i < n; i++ {
+				views[i][j] = s
+			}
+		}
+	})
 	for _, in := range ar.Inputs {
 		if err := tr.vm.MarkDirty(in); err != nil {
 			return err

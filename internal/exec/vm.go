@@ -14,6 +14,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"harmony/internal/memory"
 	"harmony/internal/tensor"
@@ -44,7 +45,20 @@ type buffer struct {
 func (b *buffer) floats() int { return int(b.t.Bytes / 4) }
 
 // VM is a coherent virtual memory across virtual devices.
+//
+// Locking: the parallel executor calls into the VM from one goroutine
+// per device (plus collective rendezvous), so every exported method
+// takes mu for its full duration — state transitions (residency,
+// pins, LRU, eviction) are atomic with respect to each other.
+// Unexported helpers (reserve, victim, evict, writeback, release)
+// require mu held and must only be called from exported methods.
+// Kernel math runs on the returned slices *outside* the lock; the pin
+// taken by Ensure/Alloc guarantees no concurrent eviction invalidates
+// them, and the dependency dispatcher guarantees no two in-flight
+// tasks share a tensor. Stats is guarded by mu too; read it via
+// Trainer.Stats (or after all workers have joined).
 type VM struct {
+	mu       sync.Mutex
 	capacity int64
 	used     []int64
 	pol      memory.Policy
@@ -67,11 +81,24 @@ func NewVM(devices int, capacityBytes int64, pol memory.Policy) *VM {
 }
 
 // Used returns resident bytes on a device.
-func (vm *VM) Used(dev int) int64 { return vm.used[dev] }
+func (vm *VM) Used(dev int) int64 {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.used[dev]
+}
+
+// StatsSnapshot returns a consistent copy of the movement counters.
+func (vm *VM) StatsSnapshot() VMStats {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.Stats
+}
 
 // HostAlloc materializes a tensor's host backing (zeroed) and returns
 // it. Idempotent for already-materialized tensors.
 func (vm *VM) HostAlloc(t *tensor.Tensor) []float32 {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
 	b, ok := vm.bufs[t.ID]
 	if !ok {
 		b = &buffer{t: t, devID: -1}
@@ -86,6 +113,8 @@ func (vm *VM) HostAlloc(t *tensor.Tensor) []float32 {
 // Host returns the host backing, swapping the device copy back first
 // if it is dirty (used to read results out).
 func (vm *VM) Host(t *tensor.Tensor) ([]float32, error) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
 	b, ok := vm.bufs[t.ID]
 	if !ok {
 		return nil, fmt.Errorf("exec: tensor %s has no buffer", t)
@@ -102,6 +131,8 @@ func (vm *VM) Host(t *tensor.Tensor) ([]float32, error) {
 // Ensure makes t resident on dev and pins it, returning the device
 // slice. The tensor must have a valid copy somewhere.
 func (vm *VM) Ensure(dev int, t *tensor.Tensor) ([]float32, error) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
 	b, ok := vm.bufs[t.ID]
 	if !ok {
 		return nil, fmt.Errorf("exec: tensor %s was never materialized", t)
@@ -111,6 +142,14 @@ func (vm *VM) Ensure(dev int, t *tensor.Tensor) ([]float32, error) {
 	if b.dev != nil && b.devID == dev {
 		b.pins++
 		return b.dev, nil
+	}
+	if b.dev != nil && b.pins > 0 {
+		// A correctly dispatched schedule never uses one tensor from
+		// two in-flight tasks, so a cross-device request for a pinned
+		// tensor is a dependency bug — fail loudly instead of
+		// corrupting the running task's view.
+		return nil, fmt.Errorf("exec: tensor %s pinned on gpu%d while requested on gpu%d (dependency bug)",
+			t, b.devID, dev)
 	}
 	if b.dev != nil {
 		// Resident elsewhere: p2p move or host bounce.
@@ -152,6 +191,8 @@ func (vm *VM) Ensure(dev int, t *tensor.Tensor) ([]float32, error) {
 // Alloc creates a fresh device buffer for an output tensor (dirty, no
 // host copy) and pins it.
 func (vm *VM) Alloc(dev int, t *tensor.Tensor) ([]float32, error) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
 	b, ok := vm.bufs[t.ID]
 	if ok && (b.dev != nil || b.host != nil) {
 		return nil, fmt.Errorf("exec: tensor %s already materialized", t)
@@ -175,6 +216,8 @@ func (vm *VM) Alloc(dev int, t *tensor.Tensor) ([]float32, error) {
 
 // MarkDirty records an in-place mutation of the device copy.
 func (vm *VM) MarkDirty(t *tensor.Tensor) error {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
 	b, ok := vm.bufs[t.ID]
 	if !ok || b.dev == nil {
 		return fmt.Errorf("exec: MarkDirty on non-resident %s", t)
@@ -185,6 +228,8 @@ func (vm *VM) MarkDirty(t *tensor.Tensor) error {
 
 // Unpin releases one pin.
 func (vm *VM) Unpin(t *tensor.Tensor) error {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
 	b, ok := vm.bufs[t.ID]
 	if !ok || b.pins <= 0 {
 		return fmt.Errorf("exec: Unpin underflow on %s", t)
@@ -195,6 +240,8 @@ func (vm *VM) Unpin(t *tensor.Tensor) error {
 
 // Free destroys the tensor entirely.
 func (vm *VM) Free(t *tensor.Tensor) error {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
 	b, ok := vm.bufs[t.ID]
 	if !ok {
 		return nil
@@ -272,6 +319,8 @@ func (vm *VM) release(b *buffer) {
 // host backing authoritative (used when host contents are overwritten
 // externally, e.g. checkpoint restore). Fails on pinned tensors.
 func (vm *VM) Invalidate(t *tensor.Tensor) error {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
 	b, ok := vm.bufs[t.ID]
 	if !ok || b.dev == nil {
 		return nil

@@ -9,13 +9,28 @@
 // pins already-resident tensors immediately, evicts and swaps in the
 // rest over simulated DMA transfers, and invokes its ready callback
 // once every input is pinned and space for outputs and workspace is
-// reserved. All state changes run on the simulation engine's event
-// loop, so the manager needs no locking.
+// reserved.
+//
+// Locking discipline: Manager.mu guards all mutable state. Every
+// exported method takes mu for its full duration, as do the
+// transfer-completion closures when the simulation engine fires them;
+// unexported helpers (pump, advance, ensureSpace, startEviction,
+// startSwapIn, startMigrate, freeLocked, setHome, setFatal) require
+// mu held. The lock is not reentrant. An acquire's ready callback is
+// invoked with mu RELEASED (pump dequeues the grant first, then
+// unlocks around the call) at exactly the same program point as the
+// historical lock-free code, so ready may reenter the Manager and
+// single-threaded simulation event order is unchanged. All other
+// callbacks — fail, Hook, usageHook, NextUse — run WITH mu held and
+// must not synchronously reenter the Manager. Single-threaded callers
+// pay one uncontended lock per call; concurrent callers (e.g.
+// per-device driver goroutines) get atomic state transitions.
 package memory
 
 import (
 	"container/list"
 	"fmt"
+	"sync"
 
 	"harmony/internal/hw"
 	"harmony/internal/sim"
@@ -152,7 +167,9 @@ type acquire struct {
 }
 
 // Manager owns tensor states and device memory for one training run.
+// See the package comment for the locking discipline.
 type Manager struct {
+	mu     sync.Mutex
 	eng    *sim.Engine
 	top    *hw.Topology
 	reg    *tensor.Registry
@@ -196,17 +213,29 @@ func New(eng *sim.Engine, top *hw.Topology, reg *tensor.Registry, pol Policy) *M
 	return m
 }
 
-// State returns the lifetime state machine for a tensor.
+// State returns the lifetime state machine for a tensor. The states
+// slice is immutable after New; reading the returned State while the
+// manager is pumping transfers is the caller's concern.
 func (m *Manager) State(t *tensor.Tensor) *tensor.State { return m.states[t.ID] }
 
 // Err returns the first fatal error, if any.
-func (m *Manager) Err() error { return m.fatal }
+func (m *Manager) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fatal
+}
 
 // Stats returns a copy of the per-device statistics.
-func (m *Manager) Stats(dev hw.DeviceID) DeviceStats { return m.devs[dev].stats }
+func (m *Manager) Stats(dev hw.DeviceID) DeviceStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.devs[dev].stats
+}
 
 // TotalStats sums statistics across devices.
 func (m *Manager) TotalStats() DeviceStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var s DeviceStats
 	for _, d := range m.devs {
 		s.SwapInBytes += d.stats.SwapInBytes
@@ -227,17 +256,26 @@ func (m *Manager) TotalStats() DeviceStats {
 }
 
 // Used returns bytes currently resident on a device.
-func (m *Manager) Used(dev hw.DeviceID) int64 { return m.devs[dev].used }
+func (m *Manager) Used(dev hw.DeviceID) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.devs[dev].used
+}
 
 // OnUsageChange installs a per-device observer of resident-bytes
-// changes (the memory-usage timeline of Fig. 2(c)).
+// changes (the memory-usage timeline of Fig. 2(c)). The observer runs
+// with the manager lock held.
 func (m *Manager) OnUsageChange(dev hw.DeviceID, fn func(used int64)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.devs[dev].usageHook = fn
 }
 
 // InitHost materializes tensors in host memory (initial weights,
 // optimizer state, gradient buffers, input batches).
 func (m *Manager) InitHost(ts ...*tensor.Tensor) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, t := range ts {
 		if err := m.states[t.ID].AllocHost(); err != nil {
 			return err
@@ -258,6 +296,8 @@ func (m *Manager) setFatal(err error) {
 // outputs are pinned, workspace is reserved, and ready runs. On an
 // impossible request, fail runs instead.
 func (m *Manager) Acquire(dev hw.DeviceID, inputs, outputs []*tensor.Tensor, workspace int64, ready func(), fail func(error)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d := m.devs[dev]
 	a := &acquire{
 		dev:     d,
@@ -290,6 +330,8 @@ func (m *Manager) Acquire(dev hw.DeviceID, inputs, outputs []*tensor.Tensor, wor
 // marks mutated tensors dirty, frees dead tensors, and releases the
 // workspace reservation.
 func (m *Manager) Release(dev hw.DeviceID, inputs, outputs, mutates, frees []*tensor.Tensor, workspace int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	d := m.devs[dev]
 	for _, t := range mutates {
 		if err := m.states[t.ID].MarkDirty(dev); err != nil {
@@ -311,7 +353,7 @@ func (m *Manager) Release(dev hw.DeviceID, inputs, outputs, mutates, frees []*te
 		return fmt.Errorf("memory: workspace reservation underflow on %s", dev)
 	}
 	for _, t := range frees {
-		if err := m.FreeTensor(t); err != nil {
+		if err := m.freeLocked(t); err != nil {
 			return err
 		}
 	}
@@ -322,6 +364,12 @@ func (m *Manager) Release(dev hw.DeviceID, inputs, outputs, mutates, frees []*te
 // FreeTensor destroys a tensor wherever it lives (last use passed, or
 // iteration cleanup).
 func (m *Manager) FreeTensor(t *tensor.Tensor) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.freeLocked(t)
+}
+
+func (m *Manager) freeLocked(t *tensor.Tensor) error {
 	st := m.states[t.ID]
 	if st.Loc == tensor.LocNone {
 		return nil
@@ -357,6 +405,8 @@ func (m *Manager) setHome(t *tensor.Tensor, dev hw.DeviceID) {
 // host-resident, idle, and fits without evicting anything. It never
 // blocks or fails; at worst it does nothing.
 func (m *Manager) Prefetch(dev hw.DeviceID, t *tensor.Tensor) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	st := m.states[t.ID]
 	d := m.devs[dev]
 	if st.Loc != tensor.LocHost || st.InFlight || d.free() < t.Bytes {
@@ -373,7 +423,12 @@ func (m *Manager) pumpAll() {
 	}
 }
 
-// pump advances the head acquire of a device as far as possible.
+// pump advances the head acquire of a device as far as possible. It
+// requires mu held, and releases it around each granted acquire's
+// ready callback: the grant is already dequeued and its pins taken,
+// so the state is consistent, and ready may synchronously reenter the
+// Manager (the runtime's does, to prefetch and to release
+// collectives). pump always returns with mu held.
 func (m *Manager) pump(d *devState) {
 	for len(d.queue) > 0 && m.fatal == nil {
 		a := d.queue[0]
@@ -384,7 +439,9 @@ func (m *Manager) pump(d *devState) {
 		granted, progress := m.advance(a)
 		if granted {
 			d.queue = d.queue[1:]
+			m.mu.Unlock()
 			a.ready()
+			m.mu.Lock()
 			continue
 		}
 		if !progress {
@@ -576,7 +633,12 @@ func (m *Manager) startEviction(d *devState, st *tensor.State) {
 	d.stats.SwapOutBytes += bytes
 	d.stats.SwapOuts++
 	d.stats.KindSwapOut[st.Tensor.Kind] += bytes
+	// Transfer never fires its callback synchronously (it schedules an
+	// engine event), so re-taking mu in the completion closure cannot
+	// deadlock against the lock we hold here.
 	if err := m.top.Transfer(d.dev.ID, hw.Host, bytes, func(at sim.Time) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
 		if err := st.EndSwapOut(); err != nil {
 			m.setFatal(err)
 			return
@@ -605,6 +667,8 @@ func (m *Manager) startSwapIn(d *devState, st *tensor.State, a *acquire) {
 	d.stats.SwapIns++
 	d.stats.KindSwapIn[st.Tensor.Kind] += bytes
 	if err := m.top.Transfer(hw.Host, d.dev.ID, bytes, func(at sim.Time) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
 		if err := st.EndSwapIn(); err != nil {
 			m.setFatal(err)
 			return
@@ -638,6 +702,8 @@ func (m *Manager) startMigrate(d *devState, st *tensor.State) {
 	d.stats.P2PInBytes += bytes
 	d.stats.KindP2P[st.Tensor.Kind] += bytes
 	if err := m.top.Transfer(src.dev.ID, d.dev.ID, bytes, func(at sim.Time) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
 		if err := st.EndMigrate(d.dev.ID); err != nil {
 			m.setFatal(err)
 			return

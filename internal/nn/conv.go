@@ -88,32 +88,36 @@ func (c Conv2D) validate() {
 	}
 }
 
-// preact computes the convolution into y without ReLU.
+// preact computes the convolution into y without ReLU. Samples write
+// disjoint output slices, so batch chunking is bit-identical to the
+// serial loop.
 func (c Conv2D) preact(params, x, y []float32, batch int) {
 	oh, ow := c.OutH(), c.OutW()
 	w := params[:c.Cout*c.Cin*c.K*c.K]
 	bias := params[c.Cout*c.Cin*c.K*c.K:]
-	for b := 0; b < batch; b++ {
-		xs := x[b*c.InSize() : (b+1)*c.InSize()]
-		ys := y[b*c.OutSize() : (b+1)*c.OutSize()]
-		for co := 0; co < c.Cout; co++ {
-			for i := 0; i < oh; i++ {
-				for j := 0; j < ow; j++ {
-					sum := bias[co]
-					for ci := 0; ci < c.Cin; ci++ {
-						for kh := 0; kh < c.K; kh++ {
-							xRow := xs[ci*c.H*c.W+(i+kh)*c.W+j:]
-							wRow := w[((co*c.Cin+ci)*c.K+kh)*c.K:]
-							for kw := 0; kw < c.K; kw++ {
-								sum += xRow[kw] * wRow[kw]
+	ParallelFor(batch, grainFor(int(c.FLOPsPerSample())), func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			xs := x[b*c.InSize() : (b+1)*c.InSize()]
+			ys := y[b*c.OutSize() : (b+1)*c.OutSize()]
+			for co := 0; co < c.Cout; co++ {
+				for i := 0; i < oh; i++ {
+					for j := 0; j < ow; j++ {
+						sum := bias[co]
+						for ci := 0; ci < c.Cin; ci++ {
+							for kh := 0; kh < c.K; kh++ {
+								xRow := xs[ci*c.H*c.W+(i+kh)*c.W+j:]
+								wRow := w[((co*c.Cin+ci)*c.K+kh)*c.K:]
+								for kw := 0; kw < c.K; kw++ {
+									sum += xRow[kw] * wRow[kw]
+								}
 							}
 						}
+						ys[co*oh*ow+i*ow+j] = sum
 					}
-					ys[co*oh*ow+i*ow+j] = sum
 				}
 			}
 		}
-	}
+	})
 }
 
 // Forward implements Kernel.
@@ -132,6 +136,12 @@ func (c Conv2D) Forward(params, x, y, stash []float32, batch int) {
 
 // Backward implements Kernel; the ReLU mask is recomputed from the
 // stashed input.
+//
+// Like Dense.Backward, the pass is phased for the worker pool without
+// changing accumulation order: gw/gb chunk over output channels (each
+// channel owns its slice of gw and its gb entry, accumulating samples
+// and positions in serial order), dx chunks over the batch (samples
+// write disjoint dx slices). Scratch comes from the shared pool.
 func (c Conv2D) Backward(params, stash, dy, dx, grad []float32, batch int) {
 	c.validate()
 	oh, ow := c.OutH(), c.OutW()
@@ -141,43 +151,65 @@ func (c Conv2D) Backward(params, stash, dy, dx, grad []float32, batch int) {
 
 	masked := dy
 	if c.ReLU {
-		z := make([]float32, batch*c.OutSize())
+		z := GetScratch(batch * c.OutSize())
+		defer PutScratch(z)
 		c.preact(params, stash, z, batch)
-		masked = make([]float32, batch*c.OutSize())
+		masked = GetZeroedScratch(batch * c.OutSize())
+		defer PutScratch(masked)
 		for i := range z {
 			if z[i] > 0 {
 				masked[i] = dy[i]
 			}
 		}
 	}
-	if dx != nil {
-		for i := 0; i < batch*c.InSize(); i++ {
-			dx[i] = 0
-		}
-	}
-	for b := 0; b < batch; b++ {
-		xs := stash[b*c.InSize() : (b+1)*c.InSize()]
-		ds := masked[b*c.OutSize() : (b+1)*c.OutSize()]
-		var dxs []float32
-		if dx != nil {
-			dxs = dx[b*c.InSize() : (b+1)*c.InSize()]
-		}
-		for co := 0; co < c.Cout; co++ {
-			for i := 0; i < oh; i++ {
-				for j := 0; j < ow; j++ {
-					d := ds[co*oh*ow+i*ow+j]
-					if d == 0 {
-						continue
+	// Weight and bias gradients, chunked over output channels.
+	chanCost := 2 * oh * ow * c.Cin * c.K * c.K
+	ParallelFor(c.Cout, grainFor(batch*chanCost), func(clo, chi int) {
+		for b := 0; b < batch; b++ {
+			xs := stash[b*c.InSize() : (b+1)*c.InSize()]
+			ds := masked[b*c.OutSize() : (b+1)*c.OutSize()]
+			for co := clo; co < chi; co++ {
+				for i := 0; i < oh; i++ {
+					for j := 0; j < ow; j++ {
+						d := ds[co*oh*ow+i*ow+j]
+						if d == 0 {
+							continue
+						}
+						gb[co] += d
+						for ci := 0; ci < c.Cin; ci++ {
+							for kh := 0; kh < c.K; kh++ {
+								xRow := xs[ci*c.H*c.W+(i+kh)*c.W+j:]
+								gRow := gw[((co*c.Cin+ci)*c.K+kh)*c.K:]
+								for kw := 0; kw < c.K; kw++ {
+									gRow[kw] += d * xRow[kw]
+								}
+							}
+						}
 					}
-					gb[co] += d
-					for ci := 0; ci < c.Cin; ci++ {
-						for kh := 0; kh < c.K; kh++ {
-							xRow := xs[ci*c.H*c.W+(i+kh)*c.W+j:]
-							gRow := gw[((co*c.Cin+ci)*c.K+kh)*c.K:]
-							wRow := w[((co*c.Cin+ci)*c.K+kh)*c.K:]
-							for kw := 0; kw < c.K; kw++ {
-								gRow[kw] += d * xRow[kw]
-								if dxs != nil {
+				}
+			}
+		}
+	})
+	// Input gradient, chunked over the batch.
+	if dx == nil {
+		return
+	}
+	clear(dx[:batch*c.InSize()])
+	ParallelFor(batch, grainFor(chanCost*c.Cout), func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			ds := masked[b*c.OutSize() : (b+1)*c.OutSize()]
+			dxs := dx[b*c.InSize() : (b+1)*c.InSize()]
+			for co := 0; co < c.Cout; co++ {
+				for i := 0; i < oh; i++ {
+					for j := 0; j < ow; j++ {
+						d := ds[co*oh*ow+i*ow+j]
+						if d == 0 {
+							continue
+						}
+						for ci := 0; ci < c.Cin; ci++ {
+							for kh := 0; kh < c.K; kh++ {
+								wRow := w[((co*c.Cin+ci)*c.K+kh)*c.K:]
+								for kw := 0; kw < c.K; kw++ {
 									dxs[ci*c.H*c.W+(i+kh)*c.W+j+kw] += d * wRow[kw]
 								}
 							}
@@ -186,7 +218,7 @@ func (c Conv2D) Backward(params, stash, dy, dx, grad []float32, batch int) {
 				}
 			}
 		}
-	}
+	})
 }
 
 // MaxPool2D is a non-overlapping P×P max pool over NCHW samples
@@ -226,26 +258,28 @@ func (p MaxPool2D) Forward(_, x, y, stash []float32, batch int) {
 	p.validate()
 	copy(stash, x[:batch*p.InSize()])
 	oh, ow := p.H/p.P, p.W/p.P
-	for b := 0; b < batch; b++ {
-		xs := x[b*p.InSize() : (b+1)*p.InSize()]
-		ys := y[b*p.OutSize() : (b+1)*p.OutSize()]
-		for c := 0; c < p.C; c++ {
-			for i := 0; i < oh; i++ {
-				for j := 0; j < ow; j++ {
-					best := xs[c*p.H*p.W+(i*p.P)*p.W+j*p.P]
-					for di := 0; di < p.P; di++ {
-						for dj := 0; dj < p.P; dj++ {
-							v := xs[c*p.H*p.W+(i*p.P+di)*p.W+j*p.P+dj]
-							if v > best {
-								best = v
+	ParallelFor(batch, grainFor(p.InSize()), func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			xs := x[b*p.InSize() : (b+1)*p.InSize()]
+			ys := y[b*p.OutSize() : (b+1)*p.OutSize()]
+			for c := 0; c < p.C; c++ {
+				for i := 0; i < oh; i++ {
+					for j := 0; j < ow; j++ {
+						best := xs[c*p.H*p.W+(i*p.P)*p.W+j*p.P]
+						for di := 0; di < p.P; di++ {
+							for dj := 0; dj < p.P; dj++ {
+								v := xs[c*p.H*p.W+(i*p.P+di)*p.W+j*p.P+dj]
+								if v > best {
+									best = v
+								}
 							}
 						}
+						ys[c*oh*ow+i*ow+j] = best
 					}
-					ys[c*oh*ow+i*ow+j] = best
 				}
 			}
 		}
-	}
+	})
 }
 
 // Backward implements Kernel: the gradient routes to the argmax
@@ -256,31 +290,31 @@ func (p MaxPool2D) Backward(_, stash, dy, dx, _ []float32, batch int) {
 		return
 	}
 	oh, ow := p.H/p.P, p.W/p.P
-	for i := 0; i < batch*p.InSize(); i++ {
-		dx[i] = 0
-	}
-	for b := 0; b < batch; b++ {
-		xs := stash[b*p.InSize() : (b+1)*p.InSize()]
-		ds := dy[b*p.OutSize() : (b+1)*p.OutSize()]
-		dxs := dx[b*p.InSize() : (b+1)*p.InSize()]
-		for c := 0; c < p.C; c++ {
-			for i := 0; i < oh; i++ {
-				for j := 0; j < ow; j++ {
-					bi, bj := 0, 0
-					best := xs[c*p.H*p.W+(i*p.P)*p.W+j*p.P]
-					for di := 0; di < p.P; di++ {
-						for dj := 0; dj < p.P; dj++ {
-							v := xs[c*p.H*p.W+(i*p.P+di)*p.W+j*p.P+dj]
-							if v > best {
-								best, bi, bj = v, di, dj
+	clear(dx[:batch*p.InSize()])
+	ParallelFor(batch, grainFor(p.InSize()), func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			xs := stash[b*p.InSize() : (b+1)*p.InSize()]
+			ds := dy[b*p.OutSize() : (b+1)*p.OutSize()]
+			dxs := dx[b*p.InSize() : (b+1)*p.InSize()]
+			for c := 0; c < p.C; c++ {
+				for i := 0; i < oh; i++ {
+					for j := 0; j < ow; j++ {
+						bi, bj := 0, 0
+						best := xs[c*p.H*p.W+(i*p.P)*p.W+j*p.P]
+						for di := 0; di < p.P; di++ {
+							for dj := 0; dj < p.P; dj++ {
+								v := xs[c*p.H*p.W+(i*p.P+di)*p.W+j*p.P+dj]
+								if v > best {
+									best, bi, bj = v, di, dj
+								}
 							}
 						}
+						dxs[c*p.H*p.W+(i*p.P+bi)*p.W+j*p.P+bj] += ds[c*oh*ow+i*ow+j]
 					}
-					dxs[c*p.H*p.W+(i*p.P+bi)*p.W+j*p.P+bj] += ds[c*oh*ow+i*ow+j]
 				}
 			}
 		}
-	}
+	})
 }
 
 // InitKernel initializes a kernel's parameters: Xavier for anything

@@ -43,89 +43,124 @@ func (l Dense) Forward(params, x, y, stash []float32, batch int) {
 	copy(stash, x[:batch*l.In])
 	w := params[:l.In*l.Out]
 	b := params[l.In*l.Out:]
-	for i := 0; i < batch; i++ {
-		xi := x[i*l.In : (i+1)*l.In]
-		yi := y[i*l.Out : (i+1)*l.Out]
-		copy(yi, b[:l.Out])
-		for k, xv := range xi {
-			if xv == 0 {
-				continue
-			}
-			row := w[k*l.Out : (k+1)*l.Out]
-			for j, wv := range row {
-				yi[j] += xv * wv
-			}
-		}
-		if l.ReLU {
-			for j := range yi {
-				if yi[j] < 0 {
-					yi[j] = 0
-				}
-			}
-		}
-	}
-}
-
-// Backward computes dx[batch,In] and accumulates parameter gradients
-// into grad given dy[batch,Out] and the stashed input. dx may be nil
-// for the first layer. The ReLU mask is recomputed from the stash.
-func (l Dense) Backward(params, stash, dy, dx, grad []float32, batch int) {
-	w := params[:l.In*l.Out]
-	gw := grad[:l.In*l.Out]
-	gb := grad[l.In*l.Out:]
-	// Recompute the pre-activation sign when the layer has ReLU.
-	masked := dy
-	if l.ReLU {
-		masked = make([]float32, batch*l.Out)
-		b := params[l.In*l.Out:]
-		for i := 0; i < batch; i++ {
-			xi := stash[i*l.In : (i+1)*l.In]
-			zi := make([]float32, l.Out)
-			copy(zi, b[:l.Out])
+	// Rows of the batch are independent and write disjoint slices of
+	// y, so chunking over rows is bit-identical to the serial loop.
+	ParallelFor(batch, grainFor(2*l.In*l.Out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x[i*l.In : (i+1)*l.In]
+			yi := y[i*l.Out : (i+1)*l.Out]
+			copy(yi, b[:l.Out])
 			for k, xv := range xi {
 				if xv == 0 {
 					continue
 				}
 				row := w[k*l.Out : (k+1)*l.Out]
 				for j, wv := range row {
-					zi[j] += xv * wv
+					yi[j] += xv * wv
 				}
 			}
-			di := dy[i*l.Out : (i+1)*l.Out]
-			mi := masked[i*l.Out : (i+1)*l.Out]
-			for j := range zi {
-				if zi[j] > 0 {
-					mi[j] = di[j]
+			if l.ReLU {
+				for j := range yi {
+					if yi[j] < 0 {
+						yi[j] = 0
+					}
 				}
 			}
 		}
+	})
+}
+
+// Backward computes dx[batch,In] and accumulates parameter gradients
+// into grad given dy[batch,Out] and the stashed input. dx may be nil
+// for the first layer. The ReLU mask is recomputed from the stash.
+//
+// The pass is split into phases so each can fan across the worker
+// pool without changing any element's accumulation order: the mask
+// and dx are row-disjoint over the batch, while gb and gw chunk over
+// output columns and weight rows respectively, keeping the batch loop
+// innermost (and in order) per accumulated element. The results are
+// bit-identical to a serial run.
+func (l Dense) Backward(params, stash, dy, dx, grad []float32, batch int) {
+	w := params[:l.In*l.Out]
+	gw := grad[:l.In*l.Out]
+	gb := grad[l.In*l.Out:]
+	// Recompute the pre-activation sign when the layer has ReLU. The
+	// mask and per-row pre-activations come from the scratch pool:
+	// this is the hot per-call allocation of the backward pass.
+	masked := dy
+	if l.ReLU {
+		masked = GetZeroedScratch(batch * l.Out)
+		defer PutScratch(masked)
+		b := params[l.In*l.Out:]
+		ParallelFor(batch, grainFor(2*l.In*l.Out), func(lo, hi int) {
+			zi := GetScratch(l.Out)
+			defer PutScratch(zi)
+			for i := lo; i < hi; i++ {
+				xi := stash[i*l.In : (i+1)*l.In]
+				copy(zi, b[:l.Out])
+				for k, xv := range xi {
+					if xv == 0 {
+						continue
+					}
+					row := w[k*l.Out : (k+1)*l.Out]
+					for j, wv := range row {
+						zi[j] += xv * wv
+					}
+				}
+				di := dy[i*l.Out : (i+1)*l.Out]
+				mi := masked[i*l.Out : (i+1)*l.Out]
+				for j := range zi {
+					if zi[j] > 0 {
+						mi[j] = di[j]
+					}
+				}
+			}
+		})
 	}
-	for i := 0; i < batch; i++ {
-		xi := stash[i*l.In : (i+1)*l.In]
-		di := masked[i*l.Out : (i+1)*l.Out]
-		for j, dv := range di {
-			gb[j] += dv
-		}
-		for k, xv := range xi {
-			if xv == 0 {
-				continue
-			}
-			gRow := gw[k*l.Out : (k+1)*l.Out]
-			for j, dv := range di {
-				gRow[j] += xv * dv
+	// Bias gradient: chunk over output columns; each column sums the
+	// batch in order.
+	ParallelFor(l.Out, grainFor(batch), func(lo, hi int) {
+		for i := 0; i < batch; i++ {
+			di := masked[i*l.Out : (i+1)*l.Out]
+			for j := lo; j < hi; j++ {
+				gb[j] += di[j]
 			}
 		}
-		if dx != nil {
-			dxi := dx[i*l.In : (i+1)*l.In]
-			for k := range dxi {
-				row := w[k*l.Out : (k+1)*l.Out]
-				var s float32
-				for j, dv := range di {
-					s += row[j] * dv
+	})
+	// Weight gradient: chunk over weight rows k (the input dimension);
+	// each gw row accumulates the batch in order.
+	ParallelFor(l.In, grainFor(2*batch*l.Out), func(lo, hi int) {
+		for i := 0; i < batch; i++ {
+			xi := stash[i*l.In : (i+1)*l.In]
+			di := masked[i*l.Out : (i+1)*l.Out]
+			for k := lo; k < hi; k++ {
+				xv := xi[k]
+				if xv == 0 {
+					continue
 				}
-				dxi[k] = s
+				gRow := gw[k*l.Out : (k+1)*l.Out]
+				for j, dv := range di {
+					gRow[j] += xv * dv
+				}
 			}
 		}
+	})
+	// Input gradient: rows are disjoint over the batch.
+	if dx != nil {
+		ParallelFor(batch, grainFor(2*l.In*l.Out), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				di := masked[i*l.Out : (i+1)*l.Out]
+				dxi := dx[i*l.In : (i+1)*l.In]
+				for k := range dxi {
+					row := w[k*l.Out : (k+1)*l.Out]
+					var s float32
+					for j, dv := range di {
+						s += row[j] * dv
+					}
+					dxi[k] = s
+				}
+			}
+		})
 	}
 }
 

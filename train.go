@@ -37,6 +37,11 @@ type TrainerConfig struct {
 	Seed uint64
 	// Toggles override the mode's default optimizations.
 	Toggles *Toggles
+	// Serial forces the single-threaded reference executor instead of
+	// the default parallel device-worker executor. Both produce
+	// bit-identical weights and losses; Serial exists for determinism
+	// tests and ablation benchmarks.
+	Serial bool
 }
 
 // Trainer trains a real model through Harmony's runtime.
@@ -92,6 +97,7 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		LR:             lr,
 		Seed:           cfg.Seed,
 		Options:        schedOpts,
+		Serial:         cfg.Serial,
 	})
 	if err != nil {
 		return nil, err
@@ -217,6 +223,7 @@ func NewLeNetTrainer(cfg TrainerConfig) (*Trainer, error) {
 		LR:             lr,
 		Seed:           cfg.Seed,
 		Options:        schedOpts,
+		Serial:         cfg.Serial,
 	})
 	if err != nil {
 		return nil, err
