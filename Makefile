@@ -1,10 +1,11 @@
 # Developer entry points. `make check` is the tier-1 gate: everything
 # a change must pass before merging, including the race detector over
-# the concurrent executor and memory manager.
+# the concurrent executor and memory manager and a time-boxed fuzz of
+# the checkpoint loader.
 
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench fuzz check
 
 all: check
 
@@ -17,14 +18,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# The exec executor and memory manager are the only packages with real
-# concurrency; race-check them specifically (the full suite under
-# -race is much slower).
+# The exec executor, memory manager and collectives are the packages
+# with real concurrency or async error delivery; race-check them
+# specifically (the full suite under -race is much slower).
 race:
-	$(GO) test -race ./internal/exec/... ./internal/memory/...
+	$(GO) test -race ./internal/exec/... ./internal/memory/... ./internal/collective/...
 
 # Executor ablation: serial reference vs parallel device workers.
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkTrainerStep' -benchmem .
 
-check: vet build test race
+# Time-boxed fuzz of the checkpoint loader: arbitrary bytes must be
+# rejected with errors, never panics or huge allocations.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s -test.fuzzminimizetime 5s ./internal/exec/
+
+check: vet build test race fuzz

@@ -18,9 +18,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"harmony"
+	"harmony/internal/fault"
+	"harmony/internal/hw"
 	"harmony/internal/nn"
+	"harmony/internal/sim"
+	"harmony/internal/trace"
 )
 
 func main() {
@@ -37,6 +43,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "weight and data seed")
 		savePath  = flag.String("save", "", "write a checkpoint here after training")
 		loadPath  = flag.String("load", "", "restore this checkpoint before training")
+		faultSpec = flag.String("fault-spec", "", `deterministic fault injection rules, e.g. "op=swap-in,count=2;step=3,dev=1,mode=fatal" (see DESIGN.md)`)
+		maxRetry  = flag.Int("max-retries", 0, "retries per faulted op (0 = default 3, negative disables)")
+		recov     = flag.Bool("recover", false, "roll back and resume past fatal device faults")
 	)
 	flag.Parse()
 
@@ -56,6 +65,7 @@ func main() {
 	cfg := harmony.TrainerConfig{
 		Mode: mode, Devices: *devices, BatchSize: *batch,
 		Adam: *adam, Seed: *seed,
+		FaultSpec: *faultSpec, MaxRetries: *maxRetry, Recover: *recov,
 	}
 	switch *arch {
 	case "lenet":
@@ -90,6 +100,28 @@ func main() {
 	}
 	fmt.Printf("arch %s, %s on %d virtual devices of %s (model footprint %s)\n",
 		*arch, mode, *devices, sizeOf(cfg.DeviceBytes), sizeOf(tr.FootprintBytes()))
+
+	// With fault injection armed, collect every fault and retry into a
+	// timeline: zero-width spans stamped with the wall-clock offset
+	// since training start. Observers run on device-worker goroutines,
+	// so guard the trace with a mutex.
+	var (
+		faultTL trace.Trace
+		faultMu sync.Mutex
+		started = time.Now()
+	)
+	if *faultSpec != "" {
+		tr.OnFault(func(ev harmony.FaultEvent) {
+			at := sim.Time(time.Since(started).Seconds())
+			lane, label := trace.Fault, faultLabel(ev)
+			if ev.Kind == fault.EvRetry {
+				lane = trace.Retry
+			}
+			faultMu.Lock()
+			faultTL.Add(hw.DeviceID(ev.Dev), lane, label, at, at)
+			faultMu.Unlock()
+		})
+	}
 
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
@@ -140,6 +172,17 @@ func main() {
 		float64(st.SwapInBytes)/(1<<20), float64(st.SwapOutBytes)/(1<<20),
 		float64(st.P2PBytes)/(1<<20), st.Drops)
 
+	if *faultSpec != "" {
+		injected, retries := tr.FaultStats()
+		fmt.Printf("faults: %d injected, %d retried, %d recoveries\n",
+			injected, retries, tr.Recoveries())
+		faultMu.Lock()
+		if len(faultTL.Events) > 0 {
+			fmt.Print(faultTL.Gantt(72))
+		}
+		faultMu.Unlock()
+	}
+
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
 		if err != nil {
@@ -153,6 +196,16 @@ func main() {
 		f.Close()
 		fmt.Printf("checkpoint written to %s\n", *savePath)
 	}
+}
+
+// faultLabel names a timeline span; its first character is the Gantt
+// glyph ('r' retry, 'X' fatal, 't' transient, 'd' delay).
+func faultLabel(ev harmony.FaultEvent) string {
+	if ev.Kind == fault.EvRetry {
+		return fmt.Sprintf("retry %s step %d", ev.Op, ev.Step)
+	}
+	glyph := map[fault.Mode]byte{fault.Transient: 't', fault.Fatal: 'X', fault.Delay: 'd'}[ev.Mode]
+	return fmt.Sprintf("%c: %s %s step %d", glyph, ev.Mode, ev.Op, ev.Step)
 }
 
 func parseWidths(s string) ([]int, error) {

@@ -19,10 +19,18 @@ import (
 // NCCL's synchronous ring). done fires when the result is available
 // on every device.
 //
+// Errors detected before any transfer starts are returned; errors
+// surfacing mid-collective from later engine events (a transfer
+// failing after the ring is in flight) are delivered to fail instead,
+// exactly once, and the collective stops making progress — done never
+// fires after fail. A nil fail drops async errors silently; pass one
+// whenever the caller can act on failures (the runtime's retry layer
+// does).
+//
 // Per-device traffic is 2·(N−1)/N·bytes in each direction, so the
 // simulated duration reflects both link contention and the algorithm's
 // latency structure.
-func RingAllReduce(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(at sim.Time)) error {
+func RingAllReduce(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(at sim.Time), fail func(error)) error {
 	n := len(devs)
 	if n == 0 {
 		return fmt.Errorf("collective: all-reduce over zero devices")
@@ -45,8 +53,12 @@ func RingAllReduce(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(
 		chunk = 1
 	}
 	steps := 2 * (n - 1)
+	ab := &aborter{fail: fail}
 	var runStep func(step int)
 	runStep = func(step int) {
+		if ab.aborted {
+			return
+		}
 		if step == steps {
 			done(top.Eng.Now())
 			return
@@ -60,10 +72,12 @@ func RingAllReduce(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(
 				if remaining == 0 {
 					runStep(step + 1)
 				}
-			}); err != nil {
-				// Ring construction was validated up front; a
-				// transfer error here is a topology bug.
-				panic(err)
+			}, ab); err != nil {
+				// Ring construction was validated up front, so a
+				// transfer error here means the topology changed under
+				// us mid-collective.
+				ab.abort(err)
+				return
 			}
 		}
 	}
@@ -86,15 +100,40 @@ func RingAllReduce(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(
 	return nil
 }
 
+// aborter delivers at most one mid-collective error to the caller's
+// fail callback and latches, so in-flight completion callbacks stop
+// launching further steps. Single-threaded like the engine it runs
+// under.
+type aborter struct {
+	fail    func(error)
+	aborted bool
+}
+
+func (a *aborter) abort(err error) {
+	if a.aborted {
+		return
+	}
+	a.aborted = true
+	if a.fail != nil {
+		a.fail(err)
+	}
+}
+
 // sendChunk moves a chunk directly over p2p when available, otherwise
-// bounces it through host memory as two transfers.
-func sendChunk(top *hw.Topology, src, dst hw.DeviceID, bytes int64, done func(at sim.Time)) error {
+// bounces it through host memory as two transfers. An error starting
+// the first hop is returned; an error starting the host-bounce second
+// hop (which only surfaces once the first hop completes, inside an
+// engine event) goes to ab.
+func sendChunk(top *hw.Topology, src, dst hw.DeviceID, bytes int64, done func(at sim.Time), ab *aborter) error {
 	if top.CanP2P(src, dst) {
 		return top.Transfer(src, dst, bytes, done)
 	}
 	return top.Transfer(src, hw.Host, bytes, func(sim.Time) {
+		if ab.aborted {
+			return
+		}
 		if err := top.Transfer(hw.Host, dst, bytes, done); err != nil {
-			panic(err)
+			ab.abort(err)
 		}
 	})
 }
@@ -104,8 +143,10 @@ func sendChunk(top *hw.Topology, src, dst hw.DeviceID, bytes int64, done func(at
 // ends with the full `bytes` payload. Per-device traffic is
 // (N−1)/N·bytes each direction. done fires when the last device has
 // the full result. This is the collective behind intra-op sharding:
-// partial layer outputs are gathered into full activations.
-func RingAllGather(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(at sim.Time)) error {
+// partial layer outputs are gathered into full activations. fail
+// receives mid-collective errors, with the same contract as
+// RingAllReduce.
+func RingAllGather(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(at sim.Time), fail func(error)) error {
 	n := len(devs)
 	if n == 0 {
 		return fmt.Errorf("collective: all-gather over zero devices")
@@ -130,8 +171,12 @@ func RingAllGather(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(
 		chunk = 1
 	}
 	steps := n - 1
+	ab := &aborter{fail: fail}
 	var runStep func(step int)
 	runStep = func(step int) {
+		if ab.aborted {
+			return
+		}
 		if step == steps {
 			done(top.Eng.Now())
 			return
@@ -144,8 +189,9 @@ func RingAllGather(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(
 				if remaining == 0 {
 					runStep(step + 1)
 				}
-			}); err != nil {
-				panic(err)
+			}, ab); err != nil {
+				ab.abort(err)
+				return
 			}
 		}
 	}
@@ -155,7 +201,9 @@ func RingAllGather(top *hw.Topology, devs []hw.DeviceID, bytes int64, done func(
 
 // Broadcast copies `bytes` from root to every other device,
 // concurrently. done fires when the slowest receiver has the payload.
-func Broadcast(top *hw.Topology, root hw.DeviceID, devs []hw.DeviceID, bytes int64, done func(at sim.Time)) error {
+// fail receives mid-collective errors (host-bounce second hops), with
+// the same contract as RingAllReduce.
+func Broadcast(top *hw.Topology, root hw.DeviceID, devs []hw.DeviceID, bytes int64, done func(at sim.Time), fail func(error)) error {
 	if bytes < 0 {
 		return fmt.Errorf("collective: negative payload %d", bytes)
 	}
@@ -170,6 +218,7 @@ func Broadcast(top *hw.Topology, root hw.DeviceID, devs []hw.DeviceID, bytes int
 		return nil
 	}
 	remaining := targets
+	ab := &aborter{fail: fail}
 	for _, d := range devs {
 		if d == root {
 			continue
@@ -179,7 +228,7 @@ func Broadcast(top *hw.Topology, root hw.DeviceID, devs []hw.DeviceID, bytes int
 			if remaining == 0 {
 				done(top.Eng.Now())
 			}
-		}); err != nil {
+		}, ab); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -31,7 +32,7 @@ func gpus(n int) []hw.DeviceID {
 func TestAllReduceSingleDeviceIsFree(t *testing.T) {
 	eng, top := box(t, 1, true)
 	fired := false
-	if err := RingAllReduce(top, gpus(1), 1<<20, func(sim.Time) { fired = true }); err != nil {
+	if err := RingAllReduce(top, gpus(1), 1<<20, func(sim.Time) { fired = true }, nil); err != nil {
 		t.Fatal(err)
 	}
 	end, err := eng.Run()
@@ -46,14 +47,14 @@ func TestAllReduceSingleDeviceIsFree(t *testing.T) {
 func TestAllReduceCompletesAndScalesWithPayload(t *testing.T) {
 	eng, top := box(t, 4, true)
 	var small, large sim.Time
-	if err := RingAllReduce(top, gpus(4), 12e6, func(at sim.Time) { small = at }); err != nil {
+	if err := RingAllReduce(top, gpus(4), 12e6, func(at sim.Time) { small = at }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
 	base := eng.Now()
-	if err := RingAllReduce(top, gpus(4), 120e6, func(at sim.Time) { large = at }); err != nil {
+	if err := RingAllReduce(top, gpus(4), 120e6, func(at sim.Time) { large = at }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := eng.Run(); err != nil {
@@ -76,7 +77,7 @@ func TestAllReduceMatchesEstimateUncontended(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got sim.Time
-	if err := RingAllReduce(top, gpus(4), 48e6, func(at sim.Time) { got = at }); err != nil {
+	if err := RingAllReduce(top, gpus(4), 48e6, func(at sim.Time) { got = at }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := eng.Run(); err != nil {
@@ -96,14 +97,14 @@ func TestAllReduceMatchesEstimateUncontended(t *testing.T) {
 func TestAllReduceWithoutP2PBouncesThroughHost(t *testing.T) {
 	engP2P, topP2P := box(t, 4, true)
 	var withP2P, without sim.Time
-	if err := RingAllReduce(topP2P, gpus(4), 48e6, func(at sim.Time) { withP2P = at }); err != nil {
+	if err := RingAllReduce(topP2P, gpus(4), 48e6, func(at sim.Time) { withP2P = at }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := engP2P.Run(); err != nil {
 		t.Fatal(err)
 	}
 	engNo, topNo := box(t, 4, false)
-	if err := RingAllReduce(topNo, gpus(4), 48e6, func(at sim.Time) { without = at }); err != nil {
+	if err := RingAllReduce(topNo, gpus(4), 48e6, func(at sim.Time) { without = at }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := engNo.Run(); err != nil {
@@ -116,16 +117,16 @@ func TestAllReduceWithoutP2PBouncesThroughHost(t *testing.T) {
 
 func TestAllReduceValidation(t *testing.T) {
 	_, top := box(t, 2, true)
-	if err := RingAllReduce(top, nil, 10, func(sim.Time) {}); err == nil {
+	if err := RingAllReduce(top, nil, 10, func(sim.Time) {}, nil); err == nil {
 		t.Fatal("empty device list accepted")
 	}
-	if err := RingAllReduce(top, gpus(2), -1, func(sim.Time) {}); err == nil {
+	if err := RingAllReduce(top, gpus(2), -1, func(sim.Time) {}, nil); err == nil {
 		t.Fatal("negative payload accepted")
 	}
-	if err := RingAllReduce(top, []hw.DeviceID{0, hw.Host}, 10, func(sim.Time) {}); err == nil {
+	if err := RingAllReduce(top, []hw.DeviceID{0, hw.Host}, 10, func(sim.Time) {}, nil); err == nil {
 		t.Fatal("host participant accepted")
 	}
-	if err := RingAllReduce(top, []hw.DeviceID{0, 0}, 10, func(sim.Time) {}); err == nil {
+	if err := RingAllReduce(top, []hw.DeviceID{0, 0}, 10, func(sim.Time) {}, nil); err == nil {
 		t.Fatal("duplicate device accepted")
 	}
 }
@@ -133,7 +134,7 @@ func TestAllReduceValidation(t *testing.T) {
 func TestBroadcast(t *testing.T) {
 	eng, top := box(t, 4, true)
 	fired := false
-	if err := Broadcast(top, 0, gpus(4), 12e6, func(sim.Time) { fired = true }); err != nil {
+	if err := Broadcast(top, 0, gpus(4), 12e6, func(sim.Time) { fired = true }, nil); err != nil {
 		t.Fatal(err)
 	}
 	end, err := eng.Run()
@@ -145,7 +146,7 @@ func TestBroadcast(t *testing.T) {
 	}
 	// Root-only broadcast completes immediately.
 	fired = false
-	if err := Broadcast(top, 0, []hw.DeviceID{0}, 12e6, func(sim.Time) { fired = true }); err != nil {
+	if err := Broadcast(top, 0, []hw.DeviceID{0}, 12e6, func(sim.Time) { fired = true }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := eng.Run(); err != nil {
@@ -170,7 +171,7 @@ func TestAllReduceMonotoneInDevices(t *testing.T) {
 				return false
 			}
 			var dur sim.Time
-			if err := RingAllReduce(top, gpus(n), 48e6, func(at sim.Time) { dur = at }); err != nil {
+			if err := RingAllReduce(top, gpus(n), 48e6, func(at sim.Time) { dur = at }, nil); err != nil {
 				return false
 			}
 			if _, err := eng.Run(); err != nil {
@@ -191,7 +192,7 @@ func TestAllReduceMonotoneInDevices(t *testing.T) {
 func TestAllGatherCompletes(t *testing.T) {
 	eng, top := box(t, 4, true)
 	var dur sim.Time
-	if err := RingAllGather(top, gpus(4), 48e6, func(at sim.Time) { dur = at }); err != nil {
+	if err := RingAllGather(top, gpus(4), 48e6, func(at sim.Time) { dur = at }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := eng.Run(); err != nil {
@@ -203,7 +204,7 @@ func TestAllGatherCompletes(t *testing.T) {
 	// All-gather is N−1 steps vs all-reduce's 2(N−1): roughly half.
 	eng2, top2 := box(t, 4, true)
 	var ar sim.Time
-	if err := RingAllReduce(top2, gpus(4), 48e6, func(at sim.Time) { ar = at }); err != nil {
+	if err := RingAllReduce(top2, gpus(4), 48e6, func(at sim.Time) { ar = at }, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := eng2.Run(); err != nil {
@@ -217,16 +218,16 @@ func TestAllGatherCompletes(t *testing.T) {
 
 func TestAllGatherValidation(t *testing.T) {
 	_, top := box(t, 2, true)
-	if err := RingAllGather(top, nil, 10, func(sim.Time) {}); err == nil {
+	if err := RingAllGather(top, nil, 10, func(sim.Time) {}, nil); err == nil {
 		t.Fatal("empty device list accepted")
 	}
-	if err := RingAllGather(top, gpus(2), -1, func(sim.Time) {}); err == nil {
+	if err := RingAllGather(top, gpus(2), -1, func(sim.Time) {}, nil); err == nil {
 		t.Fatal("negative payload accepted")
 	}
-	if err := RingAllGather(top, []hw.DeviceID{0, hw.Host}, 10, func(sim.Time) {}); err == nil {
+	if err := RingAllGather(top, []hw.DeviceID{0, hw.Host}, 10, func(sim.Time) {}, nil); err == nil {
 		t.Fatal("host participant accepted")
 	}
-	if err := RingAllGather(top, []hw.DeviceID{1, 1}, 10, func(sim.Time) {}); err == nil {
+	if err := RingAllGather(top, []hw.DeviceID{1, 1}, 10, func(sim.Time) {}, nil); err == nil {
 		t.Fatal("duplicate device accepted")
 	}
 }
@@ -234,7 +235,7 @@ func TestAllGatherValidation(t *testing.T) {
 func TestAllGatherSingleDeviceFree(t *testing.T) {
 	eng, top := box(t, 1, true)
 	fired := false
-	if err := RingAllGather(top, gpus(1), 1<<20, func(sim.Time) { fired = true }); err != nil {
+	if err := RingAllGather(top, gpus(1), 1<<20, func(sim.Time) { fired = true }, nil); err != nil {
 		t.Fatal(err)
 	}
 	end, err := eng.Run()
@@ -243,5 +244,51 @@ func TestAllGatherSingleDeviceFree(t *testing.T) {
 	}
 	if !fired || end != 0 {
 		t.Fatalf("fired=%v end=%v", fired, end)
+	}
+}
+
+// -------------------------------------------------- async error path
+
+// TestSendChunkSecondHopFailureCallsFail drives the host-bounce second
+// hop into a routing error (Host->Host transfers to itself) and checks
+// the error reaches the aborter instead of panicking mid-simulation —
+// the contract injected faults rely on.
+func TestSendChunkSecondHopFailureCallsFail(t *testing.T) {
+	eng, top := box(t, 2, false)
+	var got error
+	ab := &aborter{fail: func(err error) { got = err }}
+	// dst == Host forces the bounce's second hop to be Host->Host,
+	// which the topology rejects — but only after the first hop's
+	// engine event completes.
+	if err := sendChunk(top, 0, hw.Host, 1<<10, func(sim.Time) {
+		t.Fatal("done fired after failed second hop")
+	}, ab); err != nil {
+		t.Fatalf("first hop refused: %v", err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("second-hop failure not delivered to fail")
+	}
+	if !ab.aborted {
+		t.Fatal("aborter not latched")
+	}
+}
+
+// TestAborterLatchesOnce checks at-most-once delivery and nil-fail
+// safety.
+func TestAborterLatchesOnce(t *testing.T) {
+	calls := 0
+	ab := &aborter{fail: func(error) { calls++ }}
+	ab.abort(errors.New("dummy"))
+	ab.abort(errors.New("dummy"))
+	if calls != 1 {
+		t.Fatalf("fail called %d times, want 1", calls)
+	}
+	nilAb := &aborter{}
+	nilAb.abort(errors.New("dummy")) // must not panic
+	if !nilAb.aborted {
+		t.Fatal("nil-fail aborter did not latch")
 	}
 }

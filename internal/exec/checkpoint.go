@@ -71,6 +71,9 @@ func (tr *Trainer) Load(r io.Reader) error {
 	if err := read(&step); err != nil {
 		return err
 	}
+	if step > math.MaxInt32 {
+		return fmt.Errorf("exec: checkpoint step %d is implausible (corrupt header?)", step)
+	}
 	var layers uint32
 	if err := read(&layers); err != nil {
 		return err
@@ -93,6 +96,13 @@ func (tr *Trainer) Load(r io.Reader) error {
 		var on uint32
 		if err := read(&on); err != nil {
 			return err
+		}
+		// Validate the optimizer-state count against the model before
+		// allocating: a corrupt uint32 here would otherwise drive a
+		// multi-gigabyte allocation (found by FuzzLoad).
+		if want := tr.g.K[0][l].Bytes / 4; on != 0 && int64(on) != want {
+			return fmt.Errorf("exec: layer %d: checkpoint has %d optimizer floats, model has %d",
+				l, on, want)
 		}
 		opt, err := readFloats(r, int(on))
 		if err != nil {

@@ -255,7 +255,7 @@ func (ex *executor) worker(d int, stream []streamEntry, rdvs []*rendezvous) {
 		default:
 		}
 		if e.coll >= 0 {
-			if !ex.arrive(rdvs[e.coll], e.task) {
+			if !ex.arrive(d, rdvs[e.coll], e.task) {
 				return
 			}
 			continue
@@ -305,7 +305,7 @@ func (ex *executor) runSerial() error {
 			if depsLeft[ar.ID] > 0 {
 				continue
 			}
-			if err := tr.runCollective(ar); err != nil {
+			if err := tr.runCollective(-1, ar); err != nil {
 				return err
 			}
 			complete(ar)
@@ -337,12 +337,13 @@ func (ex *executor) runSerial() error {
 	return nil
 }
 
-// arrive parks a device worker at a collective's rendezvous. The last
+// arrive parks device worker d at a collective's rendezvous. The last
 // participant to arrive waits for the collective's own dependencies
 // and performs the reduction; everyone else resumes when it finishes.
 // Because all participants are parked, per-device pin pressure during
-// the collective is identical to the serial executor's.
-func (ex *executor) arrive(r *rendezvous, t *graph.Task) bool {
+// the collective is identical to the serial executor's. d attributes
+// injected collective faults to the worker that hit them.
+func (ex *executor) arrive(d int, r *rendezvous, t *graph.Task) bool {
 	if r.arrived.Add(1) < r.parties {
 		select {
 		case <-r.done:
@@ -357,7 +358,7 @@ func (ex *executor) arrive(r *rendezvous, t *graph.Task) bool {
 	case <-ex.abort:
 		return false
 	}
-	if err := ex.tr.runCollective(t); err != nil {
+	if err := ex.tr.runCollective(d, t); err != nil {
 		ex.fail(fmt.Errorf("exec: %s: %w", t, err))
 		return false
 	}

@@ -1,9 +1,12 @@
 package exec
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
+	"time"
 
+	"harmony/internal/fault"
 	"harmony/internal/graph"
 	"harmony/internal/models"
 	"harmony/internal/nn"
@@ -54,6 +57,25 @@ type TrainerConfig struct {
 	// and losses — Serial exists for determinism tests and ablation
 	// benchmarks.
 	Serial bool
+
+	// Injector, when non-nil, fault-injects kernel launches,
+	// swap-in/out and p2p copies, and collective rendezvous (see
+	// internal/fault for the spec grammar). Transient faults are
+	// retried with backoff; delay faults perturb timing only; fatal
+	// faults kill the device worker.
+	Injector *fault.Injector
+	// MaxRetries bounds retries per faulted operation (0 means the
+	// default of 3; negative disables retries).
+	MaxRetries int
+	// Recover enables mid-iteration recovery: after a fatal device
+	// fault the trainer retires the device, re-binds its stream to a
+	// surviving device, rechecks pin budgets, rolls weights and
+	// optimizer state back to the last completed step (an in-memory
+	// checkpoint in the exec/checkpoint.go format) and re-runs the
+	// step. Training math is unchanged: recovery only remaps where
+	// tensors live, so recovered runs stay bit-identical to
+	// fault-free ones.
+	Recover bool
 }
 
 // Trainer runs real training iterations.
@@ -75,6 +97,19 @@ type Trainer struct {
 	parties []int
 	valOnce sync.Once
 	valErr  error
+
+	// Recovery state. Virtual devices are schedule constructs; devMap
+	// binds virtual device d to the physical device devMap[d] whose
+	// memory it uses. Initially the identity map; when a physical
+	// device dies (alive[p]=false) every virtual device bound to it is
+	// re-bound to a survivor. Kernels are placement-independent and
+	// collectives reduce in fixed order, so remapping never changes
+	// the math — only where tensors live.
+	devMap     []int
+	alive      []bool
+	snap       []byte  // last completed step, exec/checkpoint format
+	statsBase  VMStats // counters from VMs discarded by recovery
+	recoveries int
 }
 
 // NewTrainer builds the model, task graph, schedule and virtual
@@ -145,7 +180,14 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		vm:      NewVM(cfg.Devices, cfg.DeviceBytes, s.MemPolicy),
 		streams: streams,
 		parties: parties,
+		devMap:  make([]int, cfg.Devices),
+		alive:   make([]bool, cfg.Devices),
 	}
+	for d := range tr.devMap {
+		tr.devMap[d] = d
+		tr.alive[d] = true
+	}
+	tr.vm.SetFaultInjection(cfg.Injector, tr.maxRetries(), func() int { return tr.step })
 	// Persistent state: identical weights in every replica, zero
 	// gradients and optimizer state.
 	for r := 0; r < replicas; r++ {
@@ -158,7 +200,58 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 			}
 		}
 	}
+	if cfg.Recover {
+		if err := tr.snapshot(); err != nil {
+			return nil, err
+		}
+	}
 	return tr, nil
+}
+
+// maxRetries resolves the configured retry bound: 0 means the default
+// of 3, negative disables retries.
+func (tr *Trainer) maxRetries() int {
+	switch {
+	case tr.cfg.MaxRetries > 0:
+		return tr.cfg.MaxRetries
+	case tr.cfg.MaxRetries < 0:
+		return 0
+	default:
+		return 3
+	}
+}
+
+// pdev maps a virtual device to the physical device backing it.
+func (tr *Trainer) pdev(d int) int {
+	if d < 0 || d >= len(tr.devMap) {
+		return d
+	}
+	return tr.devMap[d]
+}
+
+// Alive reports which physical devices have not been retired by
+// recovery.
+func (tr *Trainer) Alive() []bool { return append([]bool(nil), tr.alive...) }
+
+// Recoveries reports how many fatal device faults the trainer has
+// recovered from.
+func (tr *Trainer) Recoveries() int { return tr.recoveries }
+
+// injectOp consults the fault injector for a compute-side operation
+// (kernel launch, collective rendezvous), retrying transient faults
+// with backoff.
+func (tr *Trainer) injectOp(op fault.Op, dev, layer int) error {
+	in := tr.cfg.Injector
+	if in.Rules() == 0 {
+		return nil
+	}
+	err := in.Inject(op, dev, tr.step, layer)
+	for attempt := 0; fault.IsTransient(err) && attempt < tr.maxRetries(); attempt++ {
+		in.NoteRetry(op, dev, tr.step)
+		time.Sleep(fault.Backoff(attempt))
+		err = in.Inject(op, dev, tr.step, layer)
+	}
+	return err
 }
 
 // kernelModel derives the simulator-facing model description from a
@@ -186,10 +279,11 @@ func kernelModel(layers []nn.Kernel, adam bool) *models.Model {
 	return m
 }
 
-// Stats returns data-movement counters accumulated so far. The
-// snapshot is taken under the VM lock, so it is safe to call between
-// steps of a parallel trainer (never concurrently with one).
-func (tr *Trainer) Stats() VMStats { return tr.vm.StatsSnapshot() }
+// Stats returns data-movement counters accumulated so far, including
+// those of VMs discarded by recovery. The snapshot is taken under the
+// VM lock, so it is safe to call between steps of a parallel trainer
+// (never concurrently with one).
+func (tr *Trainer) Stats() VMStats { return tr.statsBase.add(tr.vm.StatsSnapshot()) }
 
 // Model reports the derived model's footprint for sizing examples.
 func (tr *Trainer) FootprintBytes() int64 {
@@ -255,6 +349,40 @@ func (tr *Trainer) Step(inputs [][][]float32, labels [][][]int) (float32, error)
 	if tr.valErr != nil {
 		return 0, tr.valErr
 	}
+	for {
+		loss, err := tr.runStep(inputs, labels)
+		if err == nil {
+			if tr.cfg.Recover {
+				if serr := tr.snapshot(); serr != nil {
+					return 0, serr
+				}
+			}
+			return loss, nil
+		}
+		if !tr.cfg.Recover {
+			return 0, err
+		}
+		dev, fatal := fault.AsFatal(err)
+		if !fatal {
+			// Transient faults that exhausted their retries, and
+			// ordinary errors, are not recoverable by retiring a
+			// device.
+			return 0, err
+		}
+		if rerr := tr.recoverFrom(dev); rerr != nil {
+			return 0, fmt.Errorf("exec: unrecoverable fault (%v): %w", err, rerr)
+		}
+		tr.recoveries++
+	}
+}
+
+// runStep runs one executor iteration: stage inputs, execute, reduce
+// losses, free the consumed inputs. On error the VM may hold partial
+// state (pins, mid-iteration activations); the recovery path discards
+// the whole VM rather than unwinding it.
+func (tr *Trainer) runStep(inputs [][][]float32, labels [][][]int) (float32, error) {
+	m := tr.batchesNeeded()
+	N := tr.g.Cfg.Replicas
 	for r := 0; r < N; r++ {
 		for i := 0; i < m; i++ {
 			host := tr.vm.HostAlloc(tr.g.Act[r][0][i])
@@ -299,10 +427,142 @@ func (tr *Trainer) Step(inputs [][][]float32, labels [][][]int) (float32, error)
 	return float32(totalLoss / float64(lossCount)), nil
 }
 
+// snapshot captures weights, optimizer state and the step counter in
+// the exec/checkpoint format; recoverFrom restores it after a fatal
+// fault. Taken at construction and after every completed step, so the
+// rollback target is always the last completed weight update. Safe
+// because optimizers zero the gradient buffers when they apply them:
+// at a step boundary the full persistent state is (W, K, step).
+func (tr *Trainer) snapshot() error {
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		return fmt.Errorf("exec: recovery snapshot: %w", err)
+	}
+	tr.snap = buf.Bytes()
+	return nil
+}
+
+// recoverFrom retires physical device dev after a fatal fault: every
+// virtual device bound to it is re-bound to a surviving physical
+// device, the re-bound assignment is checked against the survivors'
+// pin budgets, and the trainer state is rolled back to the last
+// completed step by rebuilding the VM and restoring the snapshot. The
+// caller then re-runs the step.
+func (tr *Trainer) recoverFrom(dev int) error {
+	if dev < 0 || dev >= len(tr.alive) {
+		return fmt.Errorf("exec: fatal fault on unknown device %d", dev)
+	}
+	if !tr.alive[dev] {
+		return fmt.Errorf("exec: device %d already retired", dev)
+	}
+	tr.alive[dev] = false
+	var survivors []int
+	for p, ok := range tr.alive {
+		if ok {
+			survivors = append(survivors, p)
+		}
+	}
+	if len(survivors) == 0 {
+		return fmt.Errorf("exec: no devices left")
+	}
+	// Re-bind: spread virtual devices over the survivors round-robin,
+	// keeping still-alive identity bindings where possible so healthy
+	// devices keep their own streams.
+	next := 0
+	for d := range tr.devMap {
+		if tr.alive[d] {
+			tr.devMap[d] = d
+			continue
+		}
+		tr.devMap[d] = survivors[next%len(survivors)]
+		next++
+	}
+	if err := tr.checkPinBudget(); err != nil {
+		return err
+	}
+
+	// Roll back: discard the (possibly mid-iteration) VM wholesale and
+	// restore the last completed step into a fresh one. Rebuilding
+	// re-materializes persistent tensors exactly as NewTrainer did, so
+	// restoring the snapshot yields bit-identical state to a fresh
+	// trainer that loaded the same checkpoint.
+	tr.statsBase = tr.statsBase.add(tr.vm.StatsSnapshot())
+	tr.vm = NewVM(tr.cfg.Devices, tr.cfg.DeviceBytes, tr.s.MemPolicy)
+	tr.vm.SetFaultInjection(tr.cfg.Injector, tr.maxRetries(), func() int { return tr.step })
+	for r := 0; r < tr.g.Cfg.Replicas; r++ {
+		for l := range tr.layers {
+			tr.vm.HostAlloc(tr.g.W[r][l])
+			tr.vm.HostAlloc(tr.g.DW[r][l])
+			if tr.g.K[r][l].Bytes > 0 {
+				tr.vm.HostAlloc(tr.g.K[r][l])
+			}
+		}
+	}
+	if err := tr.Load(bytes.NewReader(tr.snap)); err != nil {
+		return fmt.Errorf("exec: rollback: %w", err)
+	}
+	return nil
+}
+
+// checkPinBudget verifies the re-bound assignment is feasible: when
+// several virtual devices share one physical device their worst-case
+// concurrently-pinned bytes add up. Per virtual device that is the
+// largest single-task pin set (inputs+outputs+workspace — one task in
+// flight per stream); during a collective all participants park, so
+// its demand is the sum of the participating replicas' buffers bound
+// to the device. Conservative by design: it never passes a binding
+// the VM could fail on.
+func (tr *Trainer) checkPinBudget() error {
+	maxPin := make([]int64, len(tr.devMap))
+	for d, q := range tr.s.Queues {
+		for _, t := range q {
+			var pin int64
+			for _, in := range t.Inputs {
+				pin += in.Bytes
+			}
+			for _, out := range t.Outputs {
+				pin += out.Bytes
+			}
+			pin += t.WorkspaceBytes
+			if pin > maxPin[d] {
+				maxPin[d] = pin
+			}
+		}
+	}
+	need := make([]int64, len(tr.devMap))
+	for d, p := range tr.devMap {
+		need[p] += maxPin[d]
+	}
+	for _, c := range tr.s.Collectives {
+		coll := make([]int64, len(tr.devMap))
+		for i, in := range c.Inputs {
+			coll[tr.pdev(i)] += in.Bytes
+		}
+		for p, b := range coll {
+			if b > need[p] {
+				need[p] = b
+			}
+		}
+	}
+	for p, b := range need {
+		if tr.alive[p] && b > tr.cfg.DeviceBytes {
+			return fmt.Errorf("exec: pin budget exceeded on surviving gpu%d: need %d bytes, capacity %d",
+				p, b, tr.cfg.DeviceBytes)
+		}
+	}
+	return nil
+}
+
 // runTask executes one compute task with real kernels. It returns a
 // loss value when the task is the final layer's backward (which owns
 // the loss computation).
 func (tr *Trainer) runTask(dev int, t *graph.Task, labels [][][]int) (float32, bool, error) {
+	// Late binding happens here: dev is the schedule's virtual device;
+	// all memory traffic below targets the physical device backing it.
+	dev = tr.pdev(dev)
+	if err := tr.injectOp(fault.Kernel, dev, t.Layer); err != nil {
+		return 0, false, err
+	}
 	g := tr.g
 	batch := tr.cfg.MicrobatchSize
 	switch t.Kind {
@@ -325,8 +585,10 @@ func (tr *Trainer) runTask(dev int, t *graph.Task, labels [][][]int) (float32, b
 			return 0, false, err
 		}
 		layer.Forward(w, x, y, stash, batch)
-		tr.unpin(g.W[t.Replica][t.Layer], g.Act[t.Replica][t.Layer][t.Microbatch],
-			g.Act[t.Replica][t.Layer+1][t.Microbatch], g.Stash[t.Replica][t.Layer][t.Microbatch])
+		if err := tr.unpin(g.W[t.Replica][t.Layer], g.Act[t.Replica][t.Layer][t.Microbatch],
+			g.Act[t.Replica][t.Layer+1][t.Microbatch], g.Stash[t.Replica][t.Layer][t.Microbatch]); err != nil {
+			return 0, false, err
+		}
 		return 0, false, tr.freeAll(t.Frees)
 
 	case graph.Backward:
@@ -381,7 +643,10 @@ func (tr *Trainer) runTask(dev int, t *graph.Task, labels [][][]int) (float32, b
 		if err := tr.vm.MarkDirty(g.DW[t.Replica][t.Layer]); err != nil {
 			return 0, false, err
 		}
-		tr.unpin(g.W[t.Replica][t.Layer], g.DW[t.Replica][t.Layer], g.Stash[t.Replica][t.Layer][t.Microbatch])
+		if err := tr.unpin(g.W[t.Replica][t.Layer], g.DW[t.Replica][t.Layer],
+			g.Stash[t.Replica][t.Layer][t.Microbatch]); err != nil {
+			return 0, false, err
+		}
 		if pinnedDY {
 			if err := tr.vm.Unpin(g.Grad[t.Replica][t.Layer+1][t.Microbatch]); err != nil {
 				return 0, false, err
@@ -430,7 +695,9 @@ func (tr *Trainer) runTask(dev int, t *graph.Task, labels [][][]int) (float32, b
 		if err := tr.vm.MarkDirty(g.DW[t.Replica][t.Layer]); err != nil {
 			return 0, false, err
 		}
-		tr.unpin(g.W[t.Replica][t.Layer], g.DW[t.Replica][t.Layer])
+		if err := tr.unpin(g.W[t.Replica][t.Layer], g.DW[t.Replica][t.Layer]); err != nil {
+			return 0, false, err
+		}
 		return 0, false, nil
 
 	default:
@@ -444,7 +711,7 @@ func (tr *Trainer) runTask(dev int, t *graph.Task, labels [][][]int) (float32, b
 // worker pool over disjoint index ranges; each element still sums the
 // replicas in fixed order, so the result is bit-identical at any
 // worker count.
-func (tr *Trainer) runCollective(ar *graph.Task) error {
+func (tr *Trainer) runCollective(dev int, ar *graph.Task) error {
 	if ar.Kind != graph.AllReduce {
 		return fmt.Errorf("exec: unsupported collective kind %v", ar.Kind)
 	}
@@ -452,9 +719,15 @@ func (tr *Trainer) runCollective(ar *graph.Task) error {
 	if n == 0 {
 		return fmt.Errorf("exec: collective %s has no inputs", ar)
 	}
+	// dev is the worker performing the rendezvous reduction (-1 on the
+	// serial path, where a fatal collective fault has no single device
+	// to retire and is therefore unrecoverable).
+	if err := tr.injectOp(fault.Collective, tr.pdev(dev), ar.Layer); err != nil {
+		return err
+	}
 	views := make([][]float32, n)
 	for i, in := range ar.Inputs {
-		v, err := tr.vm.Ensure(i, in) // replica i trains on device i
+		v, err := tr.vm.Ensure(tr.pdev(i), in) // replica i trains on device i
 		if err != nil {
 			return err
 		}
@@ -489,12 +762,17 @@ func (tr *Trainer) runCollective(ar *graph.Task) error {
 	return nil
 }
 
-func (tr *Trainer) unpin(ts ...*tensor.Tensor) {
+// unpin releases pins on a batch of tensors. An unpin failure is a
+// plumbing bug, but it surfaces as a returned error (not a panic) so
+// the executor can abort the iteration cleanly and the recovery layer
+// can decide what to do with it.
+func (tr *Trainer) unpin(ts ...*tensor.Tensor) error {
 	for _, t := range ts {
 		if err := tr.vm.Unpin(t); err != nil {
-			panic(err) // plumbing bug, not a runtime condition
+			return err
 		}
 	}
+	return nil
 }
 
 func (tr *Trainer) freeAll(ts []*tensor.Tensor) error {

@@ -15,12 +15,14 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"harmony/internal/fault"
 	"harmony/internal/memory"
 	"harmony/internal/tensor"
 )
 
-// VMStats counts real data movement.
+// VMStats counts real data movement and fault handling.
 type VMStats struct {
 	SwapInBytes  int64
 	SwapOutBytes int64
@@ -30,6 +32,28 @@ type VMStats struct {
 	SwapOuts     int
 	Drops        int
 	P2PMoves     int
+	// FaultsInjected counts injected transfer faults observed by this
+	// VM; Retries counts the re-attempts the retry layer issued for
+	// them (successful retries leave FaultsInjected > Retries only
+	// when a fault was fatal or retries were exhausted).
+	FaultsInjected int
+	Retries        int
+}
+
+// add accumulates counters (used to carry stats across the VM rebuild
+// a recovery performs).
+func (s VMStats) add(o VMStats) VMStats {
+	s.SwapInBytes += o.SwapInBytes
+	s.SwapOutBytes += o.SwapOutBytes
+	s.DropBytes += o.DropBytes
+	s.P2PBytes += o.P2PBytes
+	s.SwapIns += o.SwapIns
+	s.SwapOuts += o.SwapOuts
+	s.Drops += o.Drops
+	s.P2PMoves += o.P2PMoves
+	s.FaultsInjected += o.FaultsInjected
+	s.Retries += o.Retries
+	return s
 }
 
 type buffer struct {
@@ -65,6 +89,16 @@ type VM struct {
 	bufs     map[int]*buffer
 	clock    int64
 	Stats    VMStats
+
+	// Fault injection (SetFaultInjection): inj decides whether a
+	// swap-in, swap-out or p2p copy about to run fails; transient
+	// failures are retried up to maxRetries times with fault.Backoff
+	// between attempts. The backoff sleeps while holding mu — a
+	// stalled DMA channel stalls the whole VM, which is exactly the
+	// pressure the recovery tests want to model.
+	inj        *fault.Injector
+	maxRetries int
+	stepFn     func() int // current trainer step for fault site identity
 }
 
 // NewVM creates n virtual devices with the given per-device capacity.
@@ -78,6 +112,45 @@ func NewVM(devices int, capacityBytes int64, pol memory.Policy) *VM {
 		pol:      pol,
 		bufs:     make(map[int]*buffer),
 	}
+}
+
+// SetFaultInjection arms the VM with a fault injector. stepFn reports
+// the current trainer step (called without the VM lock dropped; it
+// must not call back into the VM). Passing a nil injector disarms.
+func (vm *VM) SetFaultInjection(inj *fault.Injector, maxRetries int, stepFn func() int) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.inj = inj
+	vm.maxRetries = maxRetries
+	vm.stepFn = stepFn
+}
+
+// inject consults the injector for a transfer op touching tensor t on
+// dev, retrying transient faults in place. Requires mu held.
+func (vm *VM) inject(op fault.Op, dev int, t *tensor.Tensor) error {
+	if vm.inj.Rules() == 0 {
+		return nil
+	}
+	step := 0
+	if vm.stepFn != nil {
+		step = vm.stepFn()
+	}
+	layer := -1
+	if t != nil {
+		layer = t.Layer
+	}
+	err := vm.inj.Inject(op, dev, step, layer)
+	for attempt := 0; fault.IsTransient(err) && attempt < vm.maxRetries; attempt++ {
+		vm.Stats.FaultsInjected++
+		vm.Stats.Retries++
+		vm.inj.NoteRetry(op, dev, step)
+		time.Sleep(fault.Backoff(attempt))
+		err = vm.inj.Inject(op, dev, step, layer)
+	}
+	if err != nil {
+		vm.Stats.FaultsInjected++
+	}
+	return err
 }
 
 // Used returns resident bytes on a device.
@@ -120,7 +193,9 @@ func (vm *VM) Host(t *tensor.Tensor) ([]float32, error) {
 		return nil, fmt.Errorf("exec: tensor %s has no buffer", t)
 	}
 	if b.dev != nil && b.dirty {
-		vm.writeback(b)
+		if err := vm.writeback(b); err != nil {
+			return nil, err
+		}
 	}
 	if b.host == nil {
 		return nil, fmt.Errorf("exec: tensor %s has no valid copy", t)
@@ -154,6 +229,9 @@ func (vm *VM) Ensure(dev int, t *tensor.Tensor) ([]float32, error) {
 	if b.dev != nil {
 		// Resident elsewhere: p2p move or host bounce.
 		if vm.pol.P2P {
+			if err := vm.inject(fault.P2P, dev, t); err != nil {
+				return nil, err
+			}
 			if err := vm.reserve(dev, t.Bytes); err != nil {
 				return nil, err
 			}
@@ -168,11 +246,16 @@ func (vm *VM) Ensure(dev int, t *tensor.Tensor) ([]float32, error) {
 			b.pins++
 			return b.dev, nil
 		}
-		vm.writeback(b)
+		if err := vm.writeback(b); err != nil {
+			return nil, err
+		}
 		vm.release(b)
 	}
 	if b.host == nil {
 		return nil, fmt.Errorf("exec: tensor %s has no valid copy to swap in", t)
+	}
+	if err := vm.inject(fault.SwapIn, dev, t); err != nil {
+		return nil, err
 	}
 	if err := vm.reserve(dev, t.Bytes); err != nil {
 		return nil, err
@@ -267,7 +350,9 @@ func (vm *VM) reserve(dev int, bytes int64) error {
 			return fmt.Errorf("exec: device %d cannot free %d bytes (used %d, all pinned)",
 				dev, bytes, vm.used[dev])
 		}
-		vm.evict(victim)
+		if err := vm.evict(victim); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -286,20 +371,26 @@ func (vm *VM) victim(dev int) *buffer {
 	return best
 }
 
-func (vm *VM) evict(b *buffer) {
+func (vm *VM) evict(b *buffer) error {
 	if vm.pol.DirtyTracking && !b.dirty && b.host != nil {
 		vm.Stats.DropBytes += b.t.Bytes
 		vm.Stats.Drops++
 		vm.release(b)
-		return
+		return nil
 	}
-	vm.writeback(b)
+	if err := vm.writeback(b); err != nil {
+		return err
+	}
 	vm.release(b)
+	return nil
 }
 
 // writeback copies the device data into the host backing. Naive
 // virtualization (DirtyTracking off) writes back unconditionally.
-func (vm *VM) writeback(b *buffer) {
+func (vm *VM) writeback(b *buffer) error {
+	if err := vm.inject(fault.SwapOut, b.devID, b.t); err != nil {
+		return err
+	}
 	if b.host == nil {
 		b.host = make([]float32, b.floats())
 	}
@@ -307,6 +398,7 @@ func (vm *VM) writeback(b *buffer) {
 	b.dirty = false
 	vm.Stats.SwapOutBytes += b.t.Bytes
 	vm.Stats.SwapOuts++
+	return nil
 }
 
 func (vm *VM) release(b *buffer) {

@@ -547,11 +547,14 @@ func (r *runner) launchCollective(t *graph.Task) {
 				return
 			}
 			var err error
+			asyncFail := func(err error) {
+				r.fail(fmt.Errorf("runtime: collective %s mid-flight: %w", t, err))
+			}
 			switch t.Kind {
 			case graph.AllReduce:
-				err = collective.RingAllReduce(r.top, devs, t.CommBytes, func(sim.Time) { finish() })
+				err = collective.RingAllReduce(r.top, devs, t.CommBytes, func(sim.Time) { finish() }, asyncFail)
 			case graph.Gather:
-				err = collective.RingAllGather(r.top, devs, t.CommBytes, func(sim.Time) { finish() })
+				err = collective.RingAllGather(r.top, devs, t.CommBytes, func(sim.Time) { finish() }, asyncFail)
 			default:
 				err = fmt.Errorf("runtime: unexpected collective kind %v", t.Kind)
 			}

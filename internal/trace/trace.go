@@ -25,9 +25,14 @@ const (
 	SwapOut
 	// P2P is device→device DMA (attributed to the receiving device).
 	P2P
+	// Fault marks an injected fault firing (zero-width span at the
+	// injection instant; the label says which op and mode).
+	Fault
+	// Retry marks the retry layer re-attempting a faulted operation.
+	Retry
 )
 
-var laneNames = [...]string{"compute", "swap-in", "swap-out", "p2p"}
+var laneNames = [...]string{"compute", "swap-in", "swap-out", "p2p", "fault", "retry"}
 
 func (l Lane) String() string {
 	if int(l) < len(laneNames) {
@@ -130,6 +135,10 @@ func (tr *Trace) Gantt(width int) string {
 			c = e.Label[0]
 		}
 		s := int(float64((e.Start - lo) * scale))
+		if s >= width {
+			// Zero-width events at the exact right edge still get a cell.
+			s = width - 1
+		}
 		f := int(float64((e.End - lo) * scale))
 		if f <= s {
 			f = s + 1

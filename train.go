@@ -6,6 +6,7 @@ import (
 
 	"harmony/internal/data"
 	"harmony/internal/exec"
+	"harmony/internal/fault"
 	"harmony/internal/nn"
 )
 
@@ -42,16 +43,35 @@ type TrainerConfig struct {
 	// bit-identical weights and losses; Serial exists for determinism
 	// tests and ablation benchmarks.
 	Serial bool
+	// FaultSpec, when non-empty, arms deterministic fault injection
+	// seeded by Seed. A spec is ";"-separated rules of ","-separated
+	// key=value fields: op (kernel, swap-in, swap-out, p2p,
+	// collective, any), mode (transient, fatal, delay), dev, step,
+	// layer, count, prob, delay. Example:
+	// "step=3,dev=1,op=kernel,mode=fatal;op=swap-in,count=2".
+	FaultSpec string
+	// MaxRetries bounds retries per faulted operation (0 = default 3,
+	// negative disables).
+	MaxRetries int
+	// Recover enables rollback-and-resume after fatal device faults:
+	// the dead device's work is re-bound to survivors and the step is
+	// re-run from the last completed weight update.
+	Recover bool
 }
 
 // Trainer trains a real model through Harmony's runtime.
 type Trainer struct {
 	inner   *exec.Trainer
+	inj     *fault.Injector
 	widths  []int
 	mbSize  int
 	mbCount int
 	step    uint64
 }
+
+// FaultEvent is one fault-injection notification: an injected fault
+// or a retry (see OnFault). Alias of the internal injector's event.
+type FaultEvent = fault.Event
 
 // NewTrainer validates the configuration and builds the trainer.
 func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
@@ -86,6 +106,10 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		o := cfg.Toggles.apply(defaultOptions(mode))
 		schedOpts = &o
 	}
+	inj, err := fault.Parse(cfg.FaultSpec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	inner, err := exec.NewTrainer(exec.TrainerConfig{
 		Widths:         cfg.Widths,
 		Mode:           mode,
@@ -98,12 +122,16 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		Seed:           cfg.Seed,
 		Options:        schedOpts,
 		Serial:         cfg.Serial,
+		Injector:       inj,
+		MaxRetries:     cfg.MaxRetries,
+		Recover:        cfg.Recover,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Trainer{
 		inner:   inner,
+		inj:     inj,
 		widths:  cfg.Widths,
 		mbSize:  cfg.BatchSize / mbCount,
 		mbCount: mbCount,
@@ -159,6 +187,20 @@ type Stats = exec.VMStats
 // Stats returns accumulated data-movement counters.
 func (t *Trainer) Stats() Stats { return t.inner.Stats() }
 
+// OnFault installs an observer notified of every injected fault and
+// retry (for timelines and logging). The observer may be called from
+// device-worker goroutines and must be safe for concurrent use; it
+// must not call back into the trainer.
+func (t *Trainer) OnFault(fn func(FaultEvent)) { t.inj.Observe(fn) }
+
+// FaultStats reports how many faults were injected and how many
+// retries the retry layers issued.
+func (t *Trainer) FaultStats() (injected, retries int) { return t.inj.Stats() }
+
+// Recoveries reports how many fatal device faults the trainer rolled
+// back from and resumed past.
+func (t *Trainer) Recoveries() int { return t.inner.Recoveries() }
+
 // Blobs re-exports the synthetic dataset generator used by the
 // examples: Gaussian class blobs.
 type Blobs = data.Blobs
@@ -212,6 +254,10 @@ func NewLeNetTrainer(cfg TrainerConfig) (*Trainer, error) {
 		o := cfg.Toggles.apply(defaultOptions(mode))
 		schedOpts = &o
 	}
+	inj, err := fault.Parse(cfg.FaultSpec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	inner, err := exec.NewTrainer(exec.TrainerConfig{
 		Kernels:        kernels,
 		Mode:           mode,
@@ -224,12 +270,16 @@ func NewLeNetTrainer(cfg TrainerConfig) (*Trainer, error) {
 		Seed:           cfg.Seed,
 		Options:        schedOpts,
 		Serial:         cfg.Serial,
+		Injector:       inj,
+		MaxRetries:     cfg.MaxRetries,
+		Recover:        cfg.Recover,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Trainer{
 		inner:   inner,
+		inj:     inj,
 		widths:  []int{32 * 32, 10},
 		mbSize:  cfg.BatchSize / mbCount,
 		mbCount: mbCount,
