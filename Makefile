@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz check
+.PHONY: all build vet test race bench bench-json bench-smoke fuzz check
 
 all: check
 
@@ -24,13 +24,25 @@ test:
 race:
 	$(GO) test -race ./internal/exec/... ./internal/memory/... ./internal/collective/...
 
-# Executor ablation: serial reference vs parallel device workers.
+# Executor ablation: serial reference vs parallel device workers,
+# plus the swap-bound sync-vs-prefetch matrix.
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkTrainerStep' -benchmem .
+
+# Machine-readable swap-overlap report: sync vs prefetch per-step
+# times, swap volumes and DMA overlap fractions on the swap-bound
+# configs. Regenerates the checked-in BENCH_trainer.json.
+bench-json:
+	$(GO) run ./cmd/benchtrainer -steps 4 -out BENCH_trainer.json
+
+# One-step smoke of the same harness (part of `make check`): proves
+# the sync and prefetch paths both train and the report writes.
+bench-smoke:
+	$(GO) run ./cmd/benchtrainer -steps 1 -out /dev/null
 
 # Time-boxed fuzz of the checkpoint loader: arbitrary bytes must be
 # rejected with errors, never panics or huge allocations.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s -test.fuzzminimizetime 5s ./internal/exec/
 
-check: vet build test race fuzz
+check: vet build test race fuzz bench-smoke

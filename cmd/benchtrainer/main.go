@@ -1,0 +1,171 @@
+// Command benchtrainer measures the real-execution trainer on
+// swap-bound configurations — model footprint over device capacity,
+// a modeled host link charging wall time per copied byte — and writes
+// the results as JSON. Each variant runs twice, synchronous baseline
+// (prefetch disabled) and async prefetch, so the report carries the
+// overlap win alongside the raw per-step times and swap volumes:
+//
+//	benchtrainer -steps 4 -out BENCH_trainer.json
+//
+// The checked-in BENCH_trainer.json is this command's output on the
+// development machine; `make bench-json` regenerates it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"harmony"
+)
+
+// variant is one swap-bound workload shape; the prefetch-on/off pair
+// is run for each.
+type variant struct {
+	Name    string `json:"name"`
+	Devices int    `json:"devices"`
+	P2P     bool   `json:"p2p"`
+	LinkBPS int64  `json:"link_bytes_per_sec"`
+}
+
+// variants mirrors BenchmarkTrainerStepSwapBound in bench_test.go:
+// dp1-hostlink is the headline (single device, every demand miss
+// serialized on the link); the two-device rows exercise the p2p
+// toggle.
+var variants = []variant{
+	{"dp1-hostlink", 1, false, 1 << 27},
+	{"pp2-p2p", 2, true, 96 << 20},
+	{"pp2-host-bounce", 2, false, 96 << 20},
+}
+
+type run struct {
+	PrefetchDepth  int   `json:"prefetch_depth"`
+	NsPerStep      int64 `json:"ns_per_step"`
+	SwapInBytes    int64 `json:"swap_in_bytes"`
+	SwapOutBytes   int64 `json:"swap_out_bytes"`
+	PrefetchIssued int   `json:"prefetch_issued"`
+	PrefetchHits   int   `json:"prefetch_hits"`
+	CleanAheads    int   `json:"clean_aheads"`
+	// OverlapFrac is async DMA busy time over total wall time: the
+	// fraction of the run during which a DMA engine was moving data
+	// off the critical path.
+	OverlapFrac float64 `json:"overlap_frac"`
+}
+
+type row struct {
+	variant
+	Sync          run     `json:"sync"`
+	Prefetch      run     `json:"prefetch"`
+	SpeedupVsSync float64 `json:"speedup_vs_sync"`
+}
+
+type report struct {
+	Steps   int   `json:"steps_per_run"`
+	Widths1 []int `json:"widths_dp1"`
+	Widths2 []int `json:"widths_pp2"`
+	Rows    []row `json:"rows"`
+}
+
+func config(v variant, depth int) harmony.TrainerConfig {
+	tg := &harmony.Toggles{}
+	if !v.P2P {
+		tg.P2P = harmony.Bool(false)
+	}
+	mode, widths := harmony.HarmonyDP, []int{256, 512, 512, 512, 10}
+	if v.Devices > 1 {
+		mode, widths = harmony.HarmonyPP, []int{256, 640, 640, 640, 10}
+	}
+	return harmony.TrainerConfig{
+		Widths:          widths,
+		Mode:            mode,
+		Devices:         v.Devices,
+		DeviceBytes:     4 << 20,
+		BatchSize:       8,
+		Seed:            1,
+		Toggles:         tg,
+		PrefetchDepth:   depth,
+		LinkBytesPerSec: v.LinkBPS,
+	}
+}
+
+// measure trains steps iterations (after one untimed warm-up step)
+// and returns the per-step wall time and movement counters.
+func measure(v variant, depth, steps int) (run, error) {
+	cfg := config(v, depth)
+	tr, err := harmony.NewTrainer(cfg)
+	if err != nil {
+		return run{}, err
+	}
+	defer tr.Close()
+	blobs := harmony.NewBlobs(cfg.Widths[0], cfg.Widths[len(cfg.Widths)-1], 1.0, 3)
+	x, y := blobs.Batch(tr.SamplesPerStep(), 0)
+	if _, err := tr.Step(x, y); err != nil {
+		return run{}, err
+	}
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		if _, err := tr.Step(x, y); err != nil {
+			return run{}, err
+		}
+	}
+	wall := time.Since(start)
+	st := tr.Stats()
+	return run{
+		PrefetchDepth:  depth,
+		NsPerStep:      wall.Nanoseconds() / int64(steps),
+		SwapInBytes:    st.SwapInBytes,
+		SwapOutBytes:   st.SwapOutBytes,
+		PrefetchIssued: st.PrefetchIssued,
+		PrefetchHits:   st.PrefetchHits,
+		CleanAheads:    st.CleanAheads,
+		OverlapFrac:    float64(st.AsyncDMANanos) / float64(wall.Nanoseconds()),
+	}, nil
+}
+
+func main() {
+	steps := flag.Int("steps", 4, "timed training steps per run (one extra warm-up step is untimed)")
+	depth := flag.Int("prefetch-depth", 4, "prefetch lookahead for the async runs")
+	out := flag.String("out", "BENCH_trainer.json", "output path ('-' for stdout)")
+	flag.Parse()
+
+	rep := report{
+		Steps:   *steps,
+		Widths1: []int{256, 512, 512, 512, 10},
+		Widths2: []int{256, 640, 640, 640, 10},
+	}
+	for _, v := range variants {
+		sync, err := measure(v, -1, *steps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrainer: %s/sync: %v\n", v.Name, err)
+			os.Exit(1)
+		}
+		pf, err := measure(v, *depth, *steps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrainer: %s/prefetch: %v\n", v.Name, err)
+			os.Exit(1)
+		}
+		r := row{variant: v, Sync: sync, Prefetch: pf,
+			SpeedupVsSync: float64(sync.NsPerStep) / float64(pf.NsPerStep)}
+		rep.Rows = append(rep.Rows, r)
+		fmt.Fprintf(os.Stderr, "%-16s sync %6.1fms/step  prefetch %6.1fms/step  speedup %.2fx  overlap %2.0f%%\n",
+			v.Name, float64(sync.NsPerStep)/1e6, float64(pf.NsPerStep)/1e6,
+			r.SpeedupVsSync, 100*pf.OverlapFrac)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrainer: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrainer: %v\n", err)
+		os.Exit(1)
+	}
+}

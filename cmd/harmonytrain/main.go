@@ -46,6 +46,9 @@ func main() {
 		faultSpec = flag.String("fault-spec", "", `deterministic fault injection rules, e.g. "op=swap-in,count=2;step=3,dev=1,mode=fatal" (see DESIGN.md)`)
 		maxRetry  = flag.Int("max-retries", 0, "retries per faulted op (0 = default 3, negative disables)")
 		recov     = flag.Bool("recover", false, "roll back and resume past fatal device faults")
+		prefetch  = flag.Int("prefetch-depth", 0, "async prefetch lookahead (0 = mode default, negative disables)")
+		linkBW    = flag.Int64("link-bw", 0, "modeled host-link bytes/sec charged to every swap/p2p copy (0 = memcpy cost only)")
+		swapTrace = flag.Bool("swap-trace", false, "print a compute/DMA-lane Gantt of the final step (shows swap-compute overlap)")
 	)
 	flag.Parse()
 
@@ -66,6 +69,7 @@ func main() {
 		Mode: mode, Devices: *devices, BatchSize: *batch,
 		Adam: *adam, Seed: *seed,
 		FaultSpec: *faultSpec, MaxRetries: *maxRetry, Recover: *recov,
+		PrefetchDepth: *prefetch, LinkBytesPerSec: *linkBW,
 	}
 	switch *arch {
 	case "lenet":
@@ -138,7 +142,12 @@ func main() {
 	}
 
 	blobs := harmony.NewBlobs(inDim, classes, float32(*noise), *seed+7)
+	trainStart := time.Now()
+	var stepTL *trace.Trace
 	for s := 0; s < *steps; s++ {
+		if *swapTrace && s == *steps-1 {
+			stepTL = tr.EnableTrace() // record only the final step
+		}
 		x, y := blobs.Batch(tr.SamplesPerStep(), uint64(s))
 		loss, err := tr.Step(x, y)
 		if err != nil {
@@ -149,6 +158,7 @@ func main() {
 			fmt.Printf("step %4d  loss %.4f\n", s, loss)
 		}
 	}
+	trainWall := time.Since(trainStart)
 
 	// Held-out accuracy.
 	correct, total := 0, 0
@@ -171,6 +181,20 @@ func main() {
 	fmt.Printf("virtual-memory traffic: %.1f MB in, %.1f MB out, %.1f MB p2p, %d drops\n",
 		float64(st.SwapInBytes)/(1<<20), float64(st.SwapOutBytes)/(1<<20),
 		float64(st.P2PBytes)/(1<<20), st.Drops)
+	if st.PrefetchIssued > 0 || st.CleanAheads > 0 {
+		hitPct := 0.0
+		if st.PrefetchIssued > 0 {
+			hitPct = 100 * float64(st.PrefetchHits) / float64(st.PrefetchIssued)
+		}
+		fmt.Printf("swap overlap: %d prefetches (%.0f%% hit), %d clean-aheads, %.1f ms async DMA (%.0f%% of %.1f ms train wall)\n",
+			st.PrefetchIssued, hitPct, st.CleanAheads,
+			float64(st.AsyncDMANanos)/1e6,
+			100*float64(st.AsyncDMANanos)/float64(trainWall.Nanoseconds()),
+			float64(trainWall.Nanoseconds())/1e6)
+	}
+	if stepTL != nil && len(stepTL.Events) > 0 {
+		fmt.Print("final-step compute/DMA lanes:\n", stepTL.Gantt(100))
+	}
 
 	if *faultSpec != "" {
 		injected, retries := tr.FaultStats()

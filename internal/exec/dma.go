@@ -1,0 +1,310 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"harmony/internal/fault"
+	"harmony/internal/nn"
+	"harmony/internal/tensor"
+	"harmony/internal/trace"
+)
+
+// This file is the VM's asynchronous DMA engine: per-device worker
+// goroutines that service prefetch swap-ins (EnsureAsync) and
+// proactive write-backs (CleanAhead) while device workers compute.
+// All copies run outside the VM lock under a buffer claim; completion
+// is signaled through the buffer state machine, so a demand Ensure on
+// an in-flight buffer rides the DMA instead of copying twice.
+
+type dmaKind int
+
+const (
+	dmaSwapIn    dmaKind = iota // prefetch: host→device fill of b.dev
+	dmaWriteback                // clean-ahead: device→host, device copy kept
+)
+
+type dmaReq struct {
+	b    *buffer
+	kind dmaKind
+	dev  int // device whose DMA lane services the request
+}
+
+// StartEngine launches one DMA worker goroutine per device and allows
+// async swap-in bytes in flight per device up to budgetBytes. Call
+// Close to drain and stop the workers (recovery does, before
+// discarding a VM). Idempotent; must be called before the first
+// EnsureAsync/CleanAhead.
+func (vm *VM) StartEngine(budgetBytes int64) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.queues != nil || vm.closed {
+		return
+	}
+	if budgetBytes <= 0 || budgetBytes > vm.capacity {
+		budgetBytes = vm.capacity / 2
+	}
+	vm.budget = budgetBytes
+	vm.queues = make([][]dmaReq, len(vm.used))
+	vm.pfBytes = make([]int64, len(vm.used))
+	vm.work = sync.NewCond(&vm.mu)
+	vm.idle = sync.NewCond(&vm.mu)
+	vm.wg.Add(len(vm.used))
+	for d := range vm.used {
+		go vm.dmaWorker(d)
+	}
+}
+
+// Close stops the DMA workers after draining queued requests. Safe to
+// call on a VM whose engine never started, and more than once.
+func (vm *VM) Close() {
+	vm.mu.Lock()
+	if vm.queues == nil || vm.closed {
+		vm.mu.Unlock()
+		return
+	}
+	vm.closed = true
+	vm.work.Broadcast()
+	vm.mu.Unlock()
+	vm.wg.Wait()
+}
+
+// WaitIdle blocks until no async DMA is queued or in flight, then
+// returns (and clears) the first fatal fault a DMA worker hit, if
+// any. The trainer calls it at every step boundary so stats are
+// settled and recovery never races a live DMA.
+func (vm *VM) WaitIdle() error {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.queues == nil {
+		return nil
+	}
+	for vm.asyncPending > 0 {
+		vm.idle.Wait()
+	}
+	err := vm.asyncErr
+	vm.asyncErr = nil
+	return err
+}
+
+// EnsureAsync requests that t become resident on dev without
+// blocking: a prefetch. It never waits, never evicts, never pins —
+// it fills spare capacity only — and silently does nothing when the
+// tensor is missing, already resident or in flight, not host-backed,
+// over the per-device async budget, or the device is full. A later
+// Ensure either hits the prefetched copy or rides the in-flight DMA.
+func (vm *VM) EnsureAsync(dev int, t *tensor.Tensor) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.queues == nil || vm.closed {
+		return
+	}
+	b, ok := vm.bufs[t.ID]
+	if !ok || b.state != stIdle || b.pins > 0 {
+		return
+	}
+	if b.dev != nil {
+		if b.devID == dev {
+			// Already where the upcoming task needs it: bump it so
+			// eviction prefers colder pages.
+			vm.touch(b)
+		}
+		return
+	}
+	if b.host == nil {
+		return
+	}
+	bytes := t.Bytes
+	// The budget counts prefetched bytes until their first demand hit
+	// (not merely while in flight), bounding how much device memory
+	// prefetch may occupy at the expense of the present working set.
+	if vm.pfBytes[dev]+bytes > vm.budget {
+		return
+	}
+	// Prefetch fills spare capacity only. Evicting on behalf of the
+	// future is a Belady bet the prefetcher always loses under
+	// pressure: dropped pages are exactly the stashes and activations
+	// the backward pass re-demands, and measured swap traffic tripled
+	// when prefetch was allowed to make room for itself. The demand
+	// path keeps sole authority over eviction.
+	if vm.used[dev]+bytes > vm.capacity {
+		return
+	}
+	vm.touch(b)
+	vm.claim(b, stSwapIn, true)
+	b.dev = make([]float32, b.floats())
+	b.devID = dev
+	b.dirty = false
+	b.prefetched = true
+	vm.used[dev] += bytes
+	vm.pfBytes[dev] += bytes
+	vm.lruPush(dev, b)
+	vm.Stats.PrefetchIssued++
+	vm.enqueue(dmaReq{b: b, kind: dmaSwapIn, dev: dev})
+}
+
+// CleanAhead asynchronously writes back up to max dirty, idle,
+// unpinned LRU buffers on dev (device copies kept, now clean), so
+// later evictions find pages they can drop instead of stalling on a
+// synchronous write-back. No-op without dirty tracking — dropping
+// clean pages is only legal under that policy.
+func (vm *VM) CleanAhead(dev int, max int) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.queues == nil || vm.closed || !vm.pol.DirtyTracking {
+		return
+	}
+	// Only act under real eviction pressure: a synchronous write-back
+	// stall since the last batch and the device nearly full (≥3/4).
+	// Outside that regime evictions drop clean pages for free, and a
+	// write-back would be pure link traffic (weights are re-dirtied
+	// every update, so eagerly cleaning them costs bandwidth forever
+	// and buys nothing). Each stall re-arms one batch, so clean-ahead
+	// tracks — and converts — the workload's real write-back rate.
+	if vm.syncOuts == vm.cleanSeen || vm.used[dev]*4 < vm.capacity*3 {
+		return
+	}
+	vm.cleanSeen = vm.syncOuts // re-arm on the next stall
+	issued := 0
+	for b := vm.lru[dev].head; b != nil && issued < max; b = b.next {
+		if b.pins > 0 || b.state != stIdle || !b.dirty {
+			continue
+		}
+		if b.host == nil {
+			b.host = make([]float32, b.floats())
+		}
+		vm.claim(b, stSwapOut, true)
+		vm.Stats.CleanAheads++
+		vm.enqueue(dmaReq{b: b, kind: dmaWriteback, dev: dev})
+		issued++
+	}
+}
+
+// enqueue hands a request to dev's DMA worker. Requires mu held; the
+// queue is an unbounded slice precisely so enqueueing never blocks
+// while holding the lock.
+func (vm *VM) enqueue(r dmaReq) {
+	vm.asyncPending++
+	vm.queues[r.dev] = append(vm.queues[r.dev], r)
+	vm.work.Broadcast()
+}
+
+// dmaWorker drains one device's request queue. Workers never wait on
+// buffer states — every request arrives pre-claimed — so they always
+// make progress, which is what lets synchronous paths safely wait on
+// async operations.
+func (vm *VM) dmaWorker(dev int) {
+	defer vm.wg.Done()
+	vm.mu.Lock()
+	for {
+		for len(vm.queues[dev]) == 0 {
+			if vm.closed {
+				vm.mu.Unlock()
+				return
+			}
+			vm.work.Wait()
+		}
+		req := vm.queues[dev][0]
+		vm.queues[dev] = vm.queues[dev][1:]
+		vm.mu.Unlock()
+		vm.service(req)
+		vm.mu.Lock()
+		vm.asyncPending--
+		if vm.asyncPending == 0 {
+			vm.idle.Broadcast()
+		}
+	}
+}
+
+// service performs one async DMA outside the lock.
+func (vm *VM) service(req dmaReq) {
+	b := req.b
+	bytes := b.t.Bytes
+	switch req.kind {
+	case dmaSwapIn:
+		err := vm.inject(fault.SwapIn, req.dev, b.t)
+		if err == nil {
+			start := time.Now()
+			copyChunked(b.dev, b.host)
+			vm.linkSleep(bytes)
+			busy := time.Since(start)
+			vm.record(req.dev, trace.Prefetch, "pf "+b.t.String(), start)
+			vm.mu.Lock()
+			b.dirty = false
+			vm.Stats.SwapInBytes += bytes
+			vm.Stats.SwapIns++
+			vm.Stats.AsyncDMANanos += busy.Nanoseconds()
+			vm.settle(b)
+			vm.mu.Unlock()
+			return
+		}
+		// Failed prefetch: roll the residency back (release returns the
+		// bytes to the budget) and let the demand path retry (and
+		// surface) the fault. Fatal faults are also latched so WaitIdle
+		// reports them even if no demand follows.
+		vm.mu.Lock()
+		vm.release(b)
+		if _, fatal := fault.AsFatal(err); fatal && vm.asyncErr == nil {
+			vm.asyncErr = err
+		}
+		vm.settle(b)
+		vm.mu.Unlock()
+	case dmaWriteback:
+		err := vm.inject(fault.SwapOut, req.dev, b.t)
+		if err == nil {
+			start := time.Now()
+			copyChunked(b.host, b.dev)
+			vm.linkSleep(bytes)
+			busy := time.Since(start)
+			vm.record(req.dev, trace.SwapOut, "cl "+b.t.String(), start)
+			vm.mu.Lock()
+			b.dirty = false
+			vm.Stats.SwapOutBytes += bytes
+			vm.Stats.SwapOuts++
+			vm.Stats.AsyncDMANanos += busy.Nanoseconds()
+			vm.settle(b)
+			vm.mu.Unlock()
+			return
+		}
+		// Failed clean-ahead: the page simply stays dirty.
+		vm.mu.Lock()
+		if _, fatal := fault.AsFatal(err); fatal && vm.asyncErr == nil {
+			vm.asyncErr = err
+		}
+		vm.settle(b)
+		vm.mu.Unlock()
+	}
+}
+
+// copyChunked copies src into dst through the shared kernel worker
+// pool in cache-friendly chunks, so large DMAs use every core without
+// starving compute (the pool interleaves fairly).
+func copyChunked(dst, src []float32) {
+	nn.ParallelFor(len(dst), 64<<10, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// linkSleep charges the modeled host-link transfer time for a copy of
+// the given size. Runs outside the VM lock on the transferring
+// goroutine, so concurrent lanes genuinely overlap.
+func (vm *VM) linkSleep(bytes int64) {
+	vm.mu.Lock()
+	bps := vm.bytesPerSec
+	vm.mu.Unlock()
+	if bps <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(bytes * int64(time.Second) / bps))
+}
+
+// record emits one DMA span to the installed recorder, if any.
+func (vm *VM) record(dev int, lane trace.Lane, label string, start time.Time) {
+	vm.mu.Lock()
+	rec := vm.rec
+	vm.mu.Unlock()
+	if rec == nil {
+		return
+	}
+	rec(dev, lane, label, start, time.Now())
+}

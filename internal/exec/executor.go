@@ -248,7 +248,7 @@ func (ex *executor) run(streams [][]streamEntry, parties []int) error {
 // worker drains one device's stream in order, blocking on each entry
 // until the dispatcher releases it.
 func (ex *executor) worker(d int, stream []streamEntry, rdvs []*rendezvous) {
-	for _, e := range stream {
+	for i, e := range stream {
 		select {
 		case <-ex.abort:
 			return
@@ -265,6 +265,13 @@ func (ex *executor) worker(d int, stream []streamEntry, rdvs []*rendezvous) {
 		case <-ex.ready[t.ID]:
 		case <-ex.abort:
 			return
+		}
+		// With the task released and about to compute, overlap the
+		// future: async swap-ins for the next tasks' inputs and
+		// write-backs of dirty LRU pages ride the DMA lanes while the
+		// kernel runs.
+		if ex.tr.pf != nil {
+			ex.tr.pf.issue(d, stream, i)
 		}
 		loss, counted, err := ex.tr.runTask(d, t, ex.labels)
 		if err != nil {

@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"harmony/internal/hw"
+	"harmony/internal/sim"
+	"harmony/internal/trace"
+)
+
+// prefetcher drives the VM's async DMA engine from the schedule: the
+// executor already knows each device's task stream, so right before a
+// kernel launches, the device worker asks for the inputs of the next
+// depth compute entries (EnsureAsync — never blocking, never pinning)
+// and for proactive write-backs of dirty LRU pages (CleanAhead), all
+// of which the DMA workers overlap with the kernel. This is the real
+// executor's version of the simulator's runtime.prefetchAhead.
+type prefetcher struct {
+	tr    *Trainer
+	depth int
+	clean int // dirty write-backs requested per issue point
+}
+
+// issue runs on device worker d between the dispatcher releasing
+// stream[i] and its kernel launching.
+func (p *prefetcher) issue(d int, stream []streamEntry, i int) {
+	dev := p.tr.pdev(d)
+	p.tr.vm.CleanAhead(dev, p.clean)
+	seen := 0
+	for j := i + 1; j < len(stream) && seen < p.depth; j++ {
+		e := stream[j]
+		if e.coll >= 0 {
+			continue // collectives ensure their own views at rendezvous
+		}
+		seen++
+		for _, in := range e.task.Inputs {
+			p.tr.vm.EnsureAsync(dev, in)
+		}
+	}
+}
+
+// runRecorder timestamps compute and DMA spans onto a trace.Trace
+// against a fixed epoch. All executor goroutines share it, hence the
+// mutex; arming it costs one branch per task when disabled.
+type runRecorder struct {
+	mu    sync.Mutex
+	tr    trace.Trace
+	epoch time.Time
+}
+
+func (r *runRecorder) add(dev int, lane trace.Lane, label string, start, end time.Time) {
+	s := sim.Time(start.Sub(r.epoch).Seconds())
+	e := sim.Time(end.Sub(r.epoch).Seconds())
+	r.mu.Lock()
+	r.tr.Add(hw.DeviceID(dev), lane, label, s, e)
+	r.mu.Unlock()
+}
+
+// EnableTrace starts recording a wall-clock execution timeline:
+// compute spans on each device's kernel lane, demand swaps, p2p moves,
+// prefetches and clean-ahead write-backs on their DMA lanes. Returns
+// the live trace — read it only between Steps. Calling it again
+// restarts with a fresh trace.
+func (tr *Trainer) EnableTrace() *trace.Trace {
+	tr.rec = &runRecorder{epoch: time.Now()}
+	tr.vm.SetRecorder(tr.rec.add)
+	return &tr.rec.tr
+}
+
+// Close drains and stops the VM's async DMA workers. Call it when
+// discarding a trainer whose config enabled prefetch; training never
+// needs it mid-run (step boundaries drain via WaitIdle).
+func (tr *Trainer) Close() { tr.vm.Close() }

@@ -12,6 +12,7 @@ import (
 	"harmony/internal/nn"
 	"harmony/internal/sched"
 	"harmony/internal/tensor"
+	"harmony/internal/trace"
 )
 
 // Optimizer selects the weight-update rule.
@@ -58,6 +59,24 @@ type TrainerConfig struct {
 	// benchmarks.
 	Serial bool
 
+	// PrefetchDepth controls schedule-driven prefetch in the parallel
+	// executor: before each kernel launches, its device worker issues
+	// async swap-ins for the inputs of the next PrefetchDepth compute
+	// tasks in its stream and proactive write-backs of dirty LRU
+	// pages, all overlapped with the kernel by per-device DMA worker
+	// goroutines. 0 means the default (2) when the schedule's
+	// Prefetch option is on; negative disables prefetch entirely.
+	// The serial reference path never prefetches. Prefetch changes
+	// only data movement, never math: weights and losses stay
+	// bit-identical at every depth.
+	PrefetchDepth int
+	// LinkBytesPerSec models host-link bandwidth: every swap and p2p
+	// copy additionally costs bytes/LinkBytesPerSec of wall time on
+	// its transfer lane (outside the VM lock, so concurrent DMAs and
+	// compute genuinely overlap). 0 disables modeling — transfers
+	// cost only their memcpy time.
+	LinkBytesPerSec int64
+
 	// Injector, when non-nil, fault-injects kernel launches,
 	// swap-in/out and p2p copies, and collective rendezvous (see
 	// internal/fault for the spec grammar). Transient faults are
@@ -97,6 +116,12 @@ type Trainer struct {
 	parties []int
 	valOnce sync.Once
 	valErr  error
+
+	// pf, when non-nil, is the schedule-driven prefetcher the device
+	// workers call before each kernel; rec, when non-nil, records
+	// wall-clock compute/DMA spans (EnableTrace).
+	pf  *prefetcher
+	rec *runRecorder
 
 	// Recovery state. Virtual devices are schedule constructs; devMap
 	// binds virtual device d to the physical device devMap[d] whose
@@ -187,7 +212,10 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		tr.devMap[d] = d
 		tr.alive[d] = true
 	}
-	tr.vm.SetFaultInjection(cfg.Injector, tr.maxRetries(), func() int { return tr.step })
+	if d := tr.prefetchDepth(); d > 0 {
+		tr.pf = &prefetcher{tr: tr, depth: d, clean: 1}
+	}
+	tr.configureVM()
 	// Persistent state: identical weights in every replica, zero
 	// gradients and optimizer state.
 	for r := 0; r < replicas; r++ {
@@ -206,6 +234,37 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		}
 	}
 	return tr, nil
+}
+
+// prefetchDepth resolves the configured lookahead: 0 means the
+// default of 2 when the schedule asked for prefetch, negative
+// disables. The serial reference path never prefetches — it is the
+// bit-exactness and data-movement baseline.
+func (tr *Trainer) prefetchDepth() int {
+	switch {
+	case tr.cfg.Serial || tr.cfg.PrefetchDepth < 0:
+		return 0
+	case tr.cfg.PrefetchDepth > 0:
+		return tr.cfg.PrefetchDepth
+	case tr.s.Prefetch:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// configureVM arms the (possibly rebuilt) VM with fault injection,
+// link modeling, tracing and — when prefetch is on — the async DMA
+// engine. Shared by NewTrainer and recovery.
+func (tr *Trainer) configureVM() {
+	tr.vm.SetFaultInjection(tr.cfg.Injector, tr.maxRetries(), func() int { return tr.step })
+	tr.vm.SetLinkBandwidth(tr.cfg.LinkBytesPerSec)
+	if tr.rec != nil {
+		tr.vm.SetRecorder(tr.rec.add)
+	}
+	if tr.pf != nil {
+		tr.vm.StartEngine(0) // default budget: half the device capacity
+	}
 }
 
 // maxRetries resolves the configured retry bound: 0 means the default
@@ -398,6 +457,13 @@ func (tr *Trainer) runStep(inputs [][][]float32, labels [][][]int) (float32, err
 	} else {
 		err = ex.run(tr.streams, tr.parties)
 	}
+	// Drain the DMA engine at the step boundary — on failure too, so
+	// recovery never discards a VM with live DMAs and stats snapshots
+	// are always settled. A fatal fault hit by an async prefetch
+	// surfaces here if no demand access tripped over it first.
+	if werr := tr.vm.WaitIdle(); err == nil {
+		err = werr
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -486,9 +552,10 @@ func (tr *Trainer) recoverFrom(dev int) error {
 	// re-materializes persistent tensors exactly as NewTrainer did, so
 	// restoring the snapshot yields bit-identical state to a fresh
 	// trainer that loaded the same checkpoint.
+	tr.vm.Close() // runStep already drained in-flight DMAs; stop the workers
 	tr.statsBase = tr.statsBase.add(tr.vm.StatsSnapshot())
 	tr.vm = NewVM(tr.cfg.Devices, tr.cfg.DeviceBytes, tr.s.MemPolicy)
-	tr.vm.SetFaultInjection(tr.cfg.Injector, tr.maxRetries(), func() int { return tr.step })
+	tr.configureVM()
 	for r := 0; r < tr.g.Cfg.Replicas; r++ {
 		for l := range tr.layers {
 			tr.vm.HostAlloc(tr.g.W[r][l])
@@ -562,6 +629,10 @@ func (tr *Trainer) runTask(dev int, t *graph.Task, labels [][][]int) (float32, b
 	dev = tr.pdev(dev)
 	if err := tr.injectOp(fault.Kernel, dev, t.Layer); err != nil {
 		return 0, false, err
+	}
+	if r := tr.rec; r != nil {
+		start := time.Now()
+		defer func() { r.add(dev, trace.Compute, t.String(), start, time.Now()) }()
 	}
 	g := tr.g
 	batch := tr.cfg.MicrobatchSize

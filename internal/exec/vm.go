@@ -13,6 +13,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"harmony/internal/fault"
 	"harmony/internal/memory"
 	"harmony/internal/tensor"
+	"harmony/internal/trace"
 )
 
 // VMStats counts real data movement and fault handling.
@@ -38,6 +40,17 @@ type VMStats struct {
 	// when a fault was fatal or retries were exhausted).
 	FaultsInjected int
 	Retries        int
+	// Prefetch/overlap counters (see EnsureAsync / CleanAhead).
+	// PrefetchIssued counts async swap-ins handed to the DMA engine;
+	// PrefetchHits counts Ensure calls that found their tensor already
+	// resident (or in flight) thanks to a prefetch; CleanAheads counts
+	// proactive write-backs; AsyncDMANanos is wall time the DMA
+	// workers spent copying or on the modeled link — divide by step
+	// wall time for the compute/swap overlap fraction.
+	PrefetchIssued int
+	PrefetchHits   int
+	CleanAheads    int
+	AsyncDMANanos  int64
 }
 
 // add accumulates counters (used to carry stats across the VM rebuild
@@ -53,8 +66,31 @@ func (s VMStats) add(o VMStats) VMStats {
 	s.P2PMoves += o.P2PMoves
 	s.FaultsInjected += o.FaultsInjected
 	s.Retries += o.Retries
+	s.PrefetchIssued += o.PrefetchIssued
+	s.PrefetchHits += o.PrefetchHits
+	s.CleanAheads += o.CleanAheads
+	s.AsyncDMANanos += o.AsyncDMANanos
 	return s
 }
+
+// bufState is the DMA leg of a buffer's state machine. Residency is
+// orthogonal (dev != nil); the four states of DESIGN.md §9 are the
+// cross product: host-only (idle, dev == nil), swapping-in, resident
+// (idle, dev != nil) and swapping-out.
+type bufState int
+
+const (
+	// stIdle: no DMA in flight; the buffer may be pinned, evicted or
+	// transferred.
+	stIdle bufState = iota
+	// stSwapIn: a host→device or device→device copy is filling
+	// b.dev; its contents are undefined until the state settles.
+	stSwapIn
+	// stSwapOut: a device→host write-back is draining b.dev; the
+	// device copy is valid but must stay immutable (no pins) until
+	// the state settles.
+	stSwapOut
+)
 
 type buffer struct {
 	t     *tensor.Tensor
@@ -63,39 +99,98 @@ type buffer struct {
 	devID int
 	dirty bool // device copy newer than host copy
 	pins  int
-	last  int64 // LRU clock
+	last  int64 // LRU clock (diagnostics; ordering lives in the list)
+
+	// DMA state machine. done is non-nil exactly while state !=
+	// stIdle and is closed when the in-flight operation settles;
+	// async marks operations owned by a DMA worker, committed marks
+	// synchronous operations past their reserve (pure transfer left).
+	// Both kinds complete autonomously — the only claims eviction may
+	// wait on; an uncommitted sync claim may itself be waiting to
+	// reserve, so waiting on it could deadlock. prefetched marks
+	// residency established by EnsureAsync until the first demand hit
+	// claims it.
+	state      bufState
+	done       chan struct{}
+	async      bool
+	committed  bool
+	prefetched bool
+
+	// Intrusive per-device LRU list (least-recent at head). A buffer
+	// is linked iff it is resident (dev != nil).
+	prev, next *buffer
 }
 
 func (b *buffer) floats() int { return int(b.t.Bytes / 4) }
 
+// lruList is one device's residency list, least-recently-used first.
+type lruList struct{ head, tail *buffer }
+
 // VM is a coherent virtual memory across virtual devices.
 //
-// Locking: the parallel executor calls into the VM from one goroutine
-// per device (plus collective rendezvous), so every exported method
-// takes mu for its full duration — state transitions (residency,
-// pins, LRU, eviction) are atomic with respect to each other.
-// Unexported helpers (reserve, victim, evict, writeback, release)
-// require mu held and must only be called from exported methods.
-// Kernel math runs on the returned slices *outside* the lock; the pin
-// taken by Ensure/Alloc guarantees no concurrent eviction invalidates
-// them, and the dependency dispatcher guarantees no two in-flight
-// tasks share a tensor. Stats is guarded by mu too; read it via
-// Trainer.Stats (or after all workers have joined).
+// Locking: mu guards metadata only — residency, pins, LRU order,
+// capacity accounting and Stats. Copy execution (memcpy, modeled link
+// time, fault-retry backoff) always runs with mu released: demand
+// misses copy on the calling device worker's goroutine, prefetches
+// and proactive write-backs on per-device DMA worker goroutines. A
+// buffer with a copy in flight is claimed (state != stIdle); every
+// path that needs it waits on its done channel instead of starting a
+// second copy, and eviction skips claimed buffers. Kernel math runs
+// on the returned slices outside the lock; the pin taken by
+// Ensure/Alloc guarantees no concurrent eviction invalidates them,
+// and the dependency dispatcher guarantees no two in-flight tasks
+// share a tensor. Stats is guarded by mu; read it via Trainer.Stats
+// (or after WaitIdle).
+//
+// Deadlock discipline: synchronous paths may wait on async (DMA
+// worker) operations, which always complete autonomously; they never
+// wait on other synchronous claims (reserve treats those like pinned
+// buffers), and DMA workers never wait on anything but their queue.
 type VM struct {
 	mu       sync.Mutex
 	capacity int64
 	used     []int64
 	pol      memory.Policy
 	bufs     map[int]*buffer
+	lru      []lruList
 	clock    int64
 	Stats    VMStats
+
+	// Async DMA engine (StartEngine); nil queues mean the engine is
+	// off and EnsureAsync/CleanAhead are no-ops.
+	queues       [][]dmaReq
+	work         *sync.Cond // signaled when a queue grows or the VM closes
+	idle         *sync.Cond // signaled when asyncPending returns to zero
+	asyncPending int
+	pfBytes      []int64 // prefetched bytes per device, in flight or resident-unconsumed
+	budget       int64   // per-device cap on pfBytes: how much memory prefetch may occupy
+	closed       bool
+	asyncErr     error // first fatal fault hit on a DMA worker
+	wg           sync.WaitGroup
+
+	// syncOuts counts synchronous write-backs (eviction or Host
+	// stalls); cleanSeen is its value at the last CleanAhead batch.
+	// Clean-ahead only arms after a new stall, so workloads whose
+	// evictions are all drops never pay write-back link traffic.
+	syncOuts  int
+	cleanSeen int
+
+	// bytesPerSec models host-link bandwidth: every swap/p2p copy
+	// additionally sleeps bytes/bytesPerSec (outside mu), so swap
+	// cost behaves like a real PCIe transfer instead of a memcpy.
+	// 0 disables modeling.
+	bytesPerSec int64
+
+	// rec, when non-nil, receives wall-clock DMA spans (outside mu)
+	// for the swap-overlap Gantt lanes.
+	rec func(dev int, lane trace.Lane, label string, start, end time.Time)
 
 	// Fault injection (SetFaultInjection): inj decides whether a
 	// swap-in, swap-out or p2p copy about to run fails; transient
 	// failures are retried up to maxRetries times with fault.Backoff
-	// between attempts. The backoff sleeps while holding mu — a
-	// stalled DMA channel stalls the whole VM, which is exactly the
-	// pressure the recovery tests want to model.
+	// between attempts. Backoff sleeps run outside mu — a stalled
+	// transfer stalls only its own buffer (waiters on that tensor),
+	// never the other devices.
 	inj        *fault.Injector
 	maxRetries int
 	stepFn     func() int // current trainer step for fault site identity
@@ -107,16 +202,18 @@ func NewVM(devices int, capacityBytes int64, pol memory.Policy) *VM {
 		panic(fmt.Sprintf("exec: bad VM shape devices=%d capacity=%d", devices, capacityBytes))
 	}
 	return &VM{
-		capacity: capacityBytes,
-		used:     make([]int64, devices),
-		pol:      pol,
-		bufs:     make(map[int]*buffer),
+		capacity:  capacityBytes,
+		used:      make([]int64, devices),
+		pol:       pol,
+		bufs:      make(map[int]*buffer),
+		lru:       make([]lruList, devices),
+		cleanSeen: -1, // first CleanAhead may act before any stall
 	}
 }
 
 // SetFaultInjection arms the VM with a fault injector. stepFn reports
-// the current trainer step (called without the VM lock dropped; it
-// must not call back into the VM). Passing a nil injector disarms.
+// the current trainer step (called without the VM lock held; it must
+// not call back into the VM). Passing a nil injector disarms.
 func (vm *VM) SetFaultInjection(inj *fault.Injector, maxRetries int, stepFn func() int) {
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
@@ -125,30 +222,58 @@ func (vm *VM) SetFaultInjection(inj *fault.Injector, maxRetries int, stepFn func
 	vm.stepFn = stepFn
 }
 
+// SetLinkBandwidth models host-link bandwidth for all transfers
+// (0 disables; copies cost only their memcpy time).
+func (vm *VM) SetLinkBandwidth(bytesPerSec int64) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.bytesPerSec = bytesPerSec
+}
+
+// SetRecorder installs a DMA span recorder (nil disarms). fn is
+// called outside the VM lock, on device-worker and DMA goroutines,
+// and must be safe for concurrent use.
+func (vm *VM) SetRecorder(fn func(dev int, lane trace.Lane, label string, start, end time.Time)) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.rec = fn
+}
+
 // inject consults the injector for a transfer op touching tensor t on
-// dev, retrying transient faults in place. Requires mu held.
+// dev, retrying transient faults in place with backoff. Must be
+// called WITHOUT mu held: the backoff sleeps on the calling
+// goroutine, so a flaky transfer stalls only the waiters of its own
+// buffer. Per-site determinism is unchanged — decisions hash the
+// operation identity, not the interleaving.
 func (vm *VM) inject(op fault.Op, dev int, t *tensor.Tensor) error {
-	if vm.inj.Rules() == 0 {
+	vm.mu.Lock()
+	inj, maxRetries, stepFn := vm.inj, vm.maxRetries, vm.stepFn
+	vm.mu.Unlock()
+	if inj.Rules() == 0 {
 		return nil
 	}
 	step := 0
-	if vm.stepFn != nil {
-		step = vm.stepFn()
+	if stepFn != nil {
+		step = stepFn()
 	}
 	layer := -1
 	if t != nil {
 		layer = t.Layer
 	}
-	err := vm.inj.Inject(op, dev, step, layer)
-	for attempt := 0; fault.IsTransient(err) && attempt < vm.maxRetries; attempt++ {
+	err := inj.Inject(op, dev, step, layer)
+	for attempt := 0; fault.IsTransient(err) && attempt < maxRetries; attempt++ {
+		vm.mu.Lock()
 		vm.Stats.FaultsInjected++
 		vm.Stats.Retries++
-		vm.inj.NoteRetry(op, dev, step)
+		vm.mu.Unlock()
+		inj.NoteRetry(op, dev, step)
 		time.Sleep(fault.Backoff(attempt))
-		err = vm.inj.Inject(op, dev, step, layer)
+		err = inj.Inject(op, dev, step, layer)
 	}
 	if err != nil {
+		vm.mu.Lock()
 		vm.Stats.FaultsInjected++
+		vm.mu.Unlock()
 	}
 	return err
 }
@@ -166,6 +291,106 @@ func (vm *VM) StatsSnapshot() VMStats {
 	defer vm.mu.Unlock()
 	return vm.Stats
 }
+
+// ---------------------------------------------------------------- LRU
+
+// lruPush links b as the most-recently-used buffer of dev.
+func (vm *VM) lruPush(dev int, b *buffer) {
+	l := &vm.lru[dev]
+	b.prev, b.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = b
+	} else {
+		l.head = b
+	}
+	l.tail = b
+}
+
+// lruRemove unlinks b from its device's list.
+func (vm *VM) lruRemove(b *buffer) {
+	l := &vm.lru[b.devID]
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+// touch bumps b to most-recently-used. Requires mu held.
+func (vm *VM) touch(b *buffer) {
+	vm.clock++
+	b.last = vm.clock
+	if b.dev != nil {
+		vm.lruRemove(b)
+		vm.lruPush(b.devID, b)
+	}
+}
+
+// victim returns the least-recently-used evictable buffer on dev:
+// resident, idle and unpinned. The intrusive list makes this O(1)
+// plus the pinned/claimed prefix, replacing the old full scan of the
+// buffer map (see BenchmarkVMEviction). Requires mu held.
+func (vm *VM) victim(dev int) *buffer {
+	// Prefetched-but-unused pages are about to be demanded by the
+	// schedule; evicting one turns a hit into a re-fetch. Prefer any
+	// other victim, falling back only when nothing else is evictable.
+	var prefetched *buffer
+	for b := vm.lru[dev].head; b != nil; b = b.next {
+		if b.pins > 0 || b.state != stIdle {
+			continue
+		}
+		if b.prefetched {
+			if prefetched == nil {
+				prefetched = b
+			}
+			continue
+		}
+		return b
+	}
+	return prefetched
+}
+
+// ------------------------------------------------------ state machine
+
+// claim marks b's in-flight DMA. Requires mu held and b idle.
+func (vm *VM) claim(b *buffer, st bufState, async bool) {
+	if b.state != stIdle || b.done != nil {
+		panic(fmt.Sprintf("exec: double claim of %s", b.t))
+	}
+	b.state = st
+	b.done = make(chan struct{})
+	b.async = async
+}
+
+// settle completes b's in-flight DMA and wakes every waiter.
+// Requires mu held.
+func (vm *VM) settle(b *buffer) {
+	b.state = stIdle
+	b.async = false
+	b.committed = false
+	close(b.done)
+	b.done = nil
+}
+
+// waitableInFlight returns a buffer on dev whose in-flight operation
+// completes autonomously — a DMA-worker op, or a synchronous op past
+// its reserve — or nil. Requires mu held.
+func (vm *VM) waitableInFlight(dev int) *buffer {
+	for _, b := range vm.bufs {
+		if (b.async || b.committed) && b.dev != nil && b.devID == dev {
+			return b
+		}
+	}
+	return nil
+}
+
+// --------------------------------------------------------- public API
 
 // HostAlloc materializes a tensor's host backing (zeroed) and returns
 // it. Idempotent for already-materialized tensors.
@@ -186,115 +411,241 @@ func (vm *VM) HostAlloc(t *tensor.Tensor) []float32 {
 // Host returns the host backing, swapping the device copy back first
 // if it is dirty (used to read results out).
 func (vm *VM) Host(t *tensor.Tensor) ([]float32, error) {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	b, ok := vm.bufs[t.ID]
-	if !ok {
-		return nil, fmt.Errorf("exec: tensor %s has no buffer", t)
-	}
-	if b.dev != nil && b.dirty {
-		if err := vm.writeback(b); err != nil {
-			return nil, err
+	for {
+		vm.mu.Lock()
+		b, ok := vm.bufs[t.ID]
+		if !ok {
+			vm.mu.Unlock()
+			return nil, fmt.Errorf("exec: tensor %s has no buffer", t)
 		}
+		if b.state != stIdle {
+			done := b.done
+			vm.mu.Unlock()
+			<-done
+			continue
+		}
+		if b.dev != nil && b.dirty {
+			if err := vm.writeback(b, true); err != nil {
+				vm.mu.Unlock()
+				return nil, err
+			}
+		}
+		host := b.host
+		vm.mu.Unlock()
+		if host == nil {
+			return nil, fmt.Errorf("exec: tensor %s has no valid copy", t)
+		}
+		return host, nil
 	}
-	if b.host == nil {
-		return nil, fmt.Errorf("exec: tensor %s has no valid copy", t)
-	}
-	return b.host, nil
 }
 
 // Ensure makes t resident on dev and pins it, returning the device
-// slice. The tensor must have a valid copy somewhere.
+// slice. The tensor must have a valid copy somewhere. If a prefetch
+// already swapped (or is swapping) it in, Ensure rides that DMA
+// instead of copying twice.
 func (vm *VM) Ensure(dev int, t *tensor.Tensor) ([]float32, error) {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	b, ok := vm.bufs[t.ID]
-	if !ok {
-		return nil, fmt.Errorf("exec: tensor %s was never materialized", t)
-	}
-	vm.clock++
-	b.last = vm.clock
-	if b.dev != nil && b.devID == dev {
-		b.pins++
-		return b.dev, nil
-	}
-	if b.dev != nil && b.pins > 0 {
-		// A correctly dispatched schedule never uses one tensor from
-		// two in-flight tasks, so a cross-device request for a pinned
-		// tensor is a dependency bug — fail loudly instead of
-		// corrupting the running task's view.
-		return nil, fmt.Errorf("exec: tensor %s pinned on gpu%d while requested on gpu%d (dependency bug)",
-			t, b.devID, dev)
-	}
-	if b.dev != nil {
-		// Resident elsewhere: p2p move or host bounce.
-		if vm.pol.P2P {
-			if err := vm.inject(fault.P2P, dev, t); err != nil {
-				return nil, err
+	for {
+		vm.mu.Lock()
+		b, ok := vm.bufs[t.ID]
+		if !ok {
+			vm.mu.Unlock()
+			return nil, fmt.Errorf("exec: tensor %s was never materialized", t)
+		}
+		if b.state != stIdle {
+			// A copy is in flight (possibly our own prefetch): ride it
+			// out and re-evaluate. A prefetch landing in the right place
+			// is counted as a hit by the fast path on the next pass.
+			done := b.done
+			vm.mu.Unlock()
+			<-done
+			continue
+		}
+		vm.touch(b)
+		if b.dev != nil && b.devID == dev {
+			if b.prefetched {
+				vm.consumePrefetch(b)
+				vm.Stats.PrefetchHits++
 			}
-			if err := vm.reserve(dev, t.Bytes); err != nil {
-				return nil, err
-			}
-			dst := make([]float32, b.floats())
-			copy(dst, b.dev)
-			vm.used[b.devID] -= t.Bytes
-			b.dev = dst
-			b.devID = dev
-			vm.used[dev] += t.Bytes
-			vm.Stats.P2PBytes += t.Bytes
-			vm.Stats.P2PMoves++
 			b.pins++
-			return b.dev, nil
+			dst := b.dev
+			vm.mu.Unlock()
+			return dst, nil
 		}
-		if err := vm.writeback(b); err != nil {
-			return nil, err
+		if b.dev != nil && b.pins > 0 {
+			// A correctly dispatched schedule never uses one tensor from
+			// two in-flight tasks, so a cross-device request for a pinned
+			// tensor is a dependency bug — fail loudly instead of
+			// corrupting the running task's view.
+			vm.mu.Unlock()
+			return nil, fmt.Errorf("exec: tensor %s pinned on gpu%d while requested on gpu%d (dependency bug)",
+				t, b.devID, dev)
 		}
-		vm.release(b)
+		if b.dev != nil {
+			// Resident elsewhere: p2p move or host bounce.
+			if vm.pol.P2P {
+				dst, err := vm.moveP2P(dev, b)
+				if err == errRetry {
+					continue // b changed while reserving; re-evaluate
+				}
+				return dst, err
+			}
+			err := vm.writeback(b, false)
+			vm.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			continue // now host-only; swap in on the next pass
+		}
+		if b.host == nil {
+			vm.mu.Unlock()
+			return nil, fmt.Errorf("exec: tensor %s has no valid copy to swap in", t)
+		}
+		return vm.swapIn(dev, b)
 	}
-	if b.host == nil {
-		return nil, fmt.Errorf("exec: tensor %s has no valid copy to swap in", t)
-	}
-	if err := vm.inject(fault.SwapIn, dev, t); err != nil {
+}
+
+// swapIn demand-loads host-only b onto dev and pins it. mu held on
+// entry, released on return. The memcpy runs on the caller's
+// goroutine outside the lock. b is claimed but non-resident while
+// reserving, so no other device's eviction scan can see it; residency
+// and the committed mark are established together, upholding the
+// invariant that every claim on a resident buffer completes
+// autonomously.
+func (vm *VM) swapIn(dev int, b *buffer) ([]float32, error) {
+	vm.claim(b, stSwapIn, false)
+	if err := vm.reserve(dev, b.t.Bytes); err != nil {
+		vm.settle(b)
+		vm.mu.Unlock()
 		return nil, err
 	}
-	if err := vm.reserve(dev, t.Bytes); err != nil {
-		return nil, err
-	}
-	b.dev = make([]float32, b.floats())
-	copy(b.dev, b.host)
+	dst := make([]float32, b.floats())
+	b.dev = dst
 	b.devID = dev
+	b.committed = true // reserve done: only the copy remains
+	vm.used[dev] += b.t.Bytes
+	vm.lruPush(dev, b)
+	vm.mu.Unlock()
+
+	if err := vm.inject(fault.SwapIn, dev, b.t); err != nil {
+		vm.mu.Lock()
+		vm.release(b)
+		vm.settle(b)
+		vm.mu.Unlock()
+		return nil, err
+	}
+	start := time.Now()
+	copyChunked(dst, b.host)
+	vm.linkSleep(b.t.Bytes)
+	vm.record(dev, trace.SwapIn, "in "+b.t.String(), start)
+
+	vm.mu.Lock()
 	b.dirty = false
-	vm.used[dev] += t.Bytes
-	vm.Stats.SwapInBytes += t.Bytes
+	vm.Stats.SwapInBytes += b.t.Bytes
 	vm.Stats.SwapIns++
 	b.pins++
-	return b.dev, nil
+	vm.settle(b)
+	vm.mu.Unlock()
+	return dst, nil
+}
+
+// errRetry tells Ensure that the buffer changed underneath a
+// lock-dropping step and the whole decision must be re-evaluated.
+var errRetry = errors.New("exec: retry")
+
+// moveP2P transfers b (resident on another device, unpinned, idle) to
+// dev and pins it. mu held on entry, released on return. The
+// destination is reserved *before* b is claimed: reserve can drop the
+// lock to drain evictions, and a claim taken first would sit
+// unwaitable on the source device's LRU — a reserve there, seeing
+// only a claim it must not wait on (the claimer is itself about to
+// reserve), would report the device wedged. Reserving first keeps the
+// invariant that every claim on a resident buffer is committed, i.e.
+// completes without further allocation. Because reserve can drop the
+// lock, b may change underneath it; errRetry sends Ensure back around.
+func (vm *VM) moveP2P(dev int, b *buffer) ([]float32, error) {
+	bytes := b.t.Bytes
+	if err := vm.reserve(dev, bytes); err != nil {
+		vm.mu.Unlock()
+		return nil, err
+	}
+	if b.state != stIdle || b.pins > 0 || b.dev == nil || b.devID == dev {
+		vm.mu.Unlock()
+		return nil, errRetry
+	}
+	vm.claim(b, stSwapIn, false)
+	b.committed = true // destination held: completion frees the source
+	src, srcDev := b.dev, b.devID
+	dst := make([]float32, b.floats())
+	vm.used[dev] += bytes // hold the destination while copying
+	vm.mu.Unlock()
+
+	if err := vm.inject(fault.P2P, dev, b.t); err != nil {
+		vm.mu.Lock()
+		vm.used[dev] -= bytes
+		vm.settle(b)
+		vm.mu.Unlock()
+		return nil, err
+	}
+
+	start := time.Now()
+	copyChunked(dst, src)
+	vm.linkSleep(bytes)
+	vm.record(dev, trace.P2P, "p2p "+b.t.String(), start)
+
+	vm.mu.Lock()
+	vm.consumePrefetch(b) // prefetched to the wrong device: not a hit
+	vm.lruRemove(b)
+	vm.used[srcDev] -= bytes
+	b.dev = dst
+	b.devID = dev
+	vm.lruPush(dev, b)
+	vm.Stats.P2PBytes += bytes
+	vm.Stats.P2PMoves++
+	b.pins++
+	vm.settle(b)
+	vm.mu.Unlock()
+	return dst, nil
 }
 
 // Alloc creates a fresh device buffer for an output tensor (dirty, no
 // host copy) and pins it.
 func (vm *VM) Alloc(dev int, t *tensor.Tensor) ([]float32, error) {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	b, ok := vm.bufs[t.ID]
-	if ok && (b.dev != nil || b.host != nil) {
-		return nil, fmt.Errorf("exec: tensor %s already materialized", t)
+	for {
+		vm.mu.Lock()
+		b, ok := vm.bufs[t.ID]
+		if ok && b.state != stIdle {
+			done := b.done
+			vm.mu.Unlock()
+			<-done
+			continue
+		}
+		if ok && (b.dev != nil || b.host != nil) {
+			vm.mu.Unlock()
+			return nil, fmt.Errorf("exec: tensor %s already materialized", t)
+		}
+		if !ok {
+			b = &buffer{t: t, devID: -1}
+			vm.bufs[t.ID] = b
+		}
+		// Claim while reserving: reserve may drop mu to drain evictions,
+		// and nothing must touch a half-allocated buffer meanwhile.
+		vm.claim(b, stSwapIn, false)
+		if err := vm.reserve(dev, t.Bytes); err != nil {
+			vm.settle(b)
+			vm.mu.Unlock()
+			return nil, err
+		}
+		vm.touch(b)
+		b.dev = make([]float32, b.floats())
+		b.devID = dev
+		b.dirty = true
+		b.pins = 1
+		vm.used[dev] += t.Bytes
+		vm.lruPush(dev, b)
+		vm.settle(b)
+		vm.mu.Unlock()
+		return b.dev, nil
 	}
-	if !ok {
-		b = &buffer{t: t, devID: -1}
-		vm.bufs[t.ID] = b
-	}
-	if err := vm.reserve(dev, t.Bytes); err != nil {
-		return nil, err
-	}
-	vm.clock++
-	b.last = vm.clock
-	b.dev = make([]float32, b.floats())
-	b.devID = dev
-	b.dirty = true
-	b.pins = 1
-	vm.used[dev] += t.Bytes
-	return b.dev, nil
 }
 
 // MarkDirty records an in-place mutation of the device copy.
@@ -321,25 +672,41 @@ func (vm *VM) Unpin(t *tensor.Tensor) error {
 	return nil
 }
 
-// Free destroys the tensor entirely.
+// Free destroys the tensor entirely, waiting out any in-flight DMA.
 func (vm *VM) Free(t *tensor.Tensor) error {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	b, ok := vm.bufs[t.ID]
-	if !ok {
+	for {
+		vm.mu.Lock()
+		b, ok := vm.bufs[t.ID]
+		if !ok {
+			vm.mu.Unlock()
+			return nil
+		}
+		if b.state != stIdle {
+			done := b.done
+			vm.mu.Unlock()
+			<-done
+			continue
+		}
+		if b.pins > 0 {
+			vm.mu.Unlock()
+			return fmt.Errorf("exec: Free of pinned %s", t)
+		}
+		if b.dev != nil {
+			vm.release(b)
+		}
+		delete(vm.bufs, t.ID)
+		vm.mu.Unlock()
 		return nil
 	}
-	if b.pins > 0 {
-		return fmt.Errorf("exec: Free of pinned %s", t)
-	}
-	if b.dev != nil {
-		vm.release(b)
-	}
-	delete(vm.bufs, t.ID)
-	return nil
 }
 
-// reserve evicts LRU victims on dev until `bytes` fit.
+// reserve evicts LRU victims on dev until `bytes` fit. Requires mu
+// held; may release and reacquire it while write-backs drain or
+// async DMAs complete, so callers must not rely on unrelated state
+// across the call. Synchronous claims held by other goroutines are
+// treated like pins (they complete into a pinned buffer anyway);
+// async operations are waited on, since DMA workers always finish
+// without help.
 func (vm *VM) reserve(dev int, bytes int64) error {
 	if bytes > vm.capacity {
 		return fmt.Errorf("exec: tensor of %d bytes exceeds device capacity %d", bytes, vm.capacity)
@@ -347,6 +714,13 @@ func (vm *VM) reserve(dev int, bytes int64) error {
 	for vm.used[dev]+bytes > vm.capacity {
 		victim := vm.victim(dev)
 		if victim == nil {
+			if w := vm.waitableInFlight(dev); w != nil {
+				done := w.done
+				vm.mu.Unlock()
+				<-done
+				vm.mu.Lock()
+				continue
+			}
 			return fmt.Errorf("exec: device %d cannot free %d bytes (used %d, all pinned)",
 				dev, bytes, vm.used[dev])
 		}
@@ -357,20 +731,9 @@ func (vm *VM) reserve(dev int, bytes int64) error {
 	return nil
 }
 
-func (vm *VM) victim(dev int) *buffer {
-	var best *buffer
-	for _, b := range vm.bufs {
-		if b.dev == nil || b.devID != dev || b.pins > 0 {
-			continue
-		}
-		if best == nil || b.last < best.last ||
-			(b.last == best.last && b.t.ID < best.t.ID) {
-			best = b
-		}
-	}
-	return best
-}
-
+// evict removes b from its device: dirty-tracked clean buffers are
+// dropped, everything else is written back first. Requires mu held
+// (released around the write-back copy).
 func (vm *VM) evict(b *buffer) error {
 	if vm.pol.DirtyTracking && !b.dirty && b.host != nil {
 		vm.Stats.DropBytes += b.t.Bytes
@@ -378,30 +741,59 @@ func (vm *VM) evict(b *buffer) error {
 		vm.release(b)
 		return nil
 	}
-	if err := vm.writeback(b); err != nil {
-		return err
-	}
-	vm.release(b)
-	return nil
+	return vm.writeback(b, false)
 }
 
-// writeback copies the device data into the host backing. Naive
-// virtualization (DirtyTracking off) writes back unconditionally.
-func (vm *VM) writeback(b *buffer) error {
-	if err := vm.inject(fault.SwapOut, b.devID, b.t); err != nil {
-		return err
-	}
+// writeback copies the device data into the host backing; keepDev
+// keeps the (now clean) device copy resident, otherwise it is
+// released. Naive virtualization (DirtyTracking off) writes back
+// unconditionally. Requires mu held on entry and exit; the copy runs
+// with mu released under a claim.
+func (vm *VM) writeback(b *buffer, keepDev bool) error {
+	vm.claim(b, stSwapOut, false)
+	b.committed = true // write-backs never reserve; they only free
 	if b.host == nil {
 		b.host = make([]float32, b.floats())
 	}
-	copy(b.host, b.dev)
+	src, host, dev := b.dev, b.host, b.devID
+	vm.mu.Unlock()
+	err := vm.inject(fault.SwapOut, dev, b.t)
+	if err == nil {
+		start := time.Now()
+		copyChunked(host, src)
+		vm.linkSleep(b.t.Bytes)
+		vm.record(dev, trace.SwapOut, "out "+b.t.String(), start)
+	}
+	vm.mu.Lock()
+	if err != nil {
+		vm.settle(b)
+		return err
+	}
 	b.dirty = false
 	vm.Stats.SwapOutBytes += b.t.Bytes
 	vm.Stats.SwapOuts++
+	vm.syncOuts++
+	if !keepDev {
+		vm.release(b)
+	}
+	vm.settle(b)
 	return nil
 }
 
+// consumePrefetch clears b's prefetched mark, returning its bytes to
+// the async budget. Requires mu held and b resident.
+func (vm *VM) consumePrefetch(b *buffer) {
+	if b.prefetched {
+		b.prefetched = false
+		vm.pfBytes[b.devID] -= b.t.Bytes
+	}
+}
+
+// release frees b's device residency. Requires mu held and no DMA in
+// flight.
 func (vm *VM) release(b *buffer) {
+	vm.consumePrefetch(b)
+	vm.lruRemove(b)
 	vm.used[b.devID] -= b.t.Bytes
 	b.dev = nil
 	b.devID = -1
@@ -411,19 +803,30 @@ func (vm *VM) release(b *buffer) {
 // host backing authoritative (used when host contents are overwritten
 // externally, e.g. checkpoint restore). Fails on pinned tensors.
 func (vm *VM) Invalidate(t *tensor.Tensor) error {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	b, ok := vm.bufs[t.ID]
-	if !ok || b.dev == nil {
+	for {
+		vm.mu.Lock()
+		b, ok := vm.bufs[t.ID]
+		if !ok || b.dev == nil {
+			vm.mu.Unlock()
+			return nil
+		}
+		if b.state != stIdle {
+			done := b.done
+			vm.mu.Unlock()
+			<-done
+			continue
+		}
+		if b.pins > 0 {
+			vm.mu.Unlock()
+			return fmt.Errorf("exec: Invalidate of pinned %s", t)
+		}
+		if b.host == nil {
+			vm.mu.Unlock()
+			return fmt.Errorf("exec: Invalidate would lose the only copy of %s", t)
+		}
+		b.dirty = false
+		vm.release(b)
+		vm.mu.Unlock()
 		return nil
 	}
-	if b.pins > 0 {
-		return fmt.Errorf("exec: Invalidate of pinned %s", t)
-	}
-	if b.host == nil {
-		return fmt.Errorf("exec: Invalidate would lose the only copy of %s", t)
-	}
-	b.dirty = false
-	vm.release(b)
-	return nil
 }

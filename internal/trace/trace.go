@@ -30,9 +30,13 @@ const (
 	Fault
 	// Retry marks the retry layer re-attempting a faulted operation.
 	Retry
+	// Prefetch is host→device DMA issued ahead of demand by the async
+	// swap engine (exec.VM.EnsureAsync); kept distinct from SwapIn so
+	// overlap with the compute lane is visible at a glance.
+	Prefetch
 )
 
-var laneNames = [...]string{"compute", "swap-in", "swap-out", "p2p", "fault", "retry"}
+var laneNames = [...]string{"compute", "swap-in", "swap-out", "p2p", "fault", "retry", "prefetch"}
 
 func (l Lane) String() string {
 	if int(l) < len(laneNames) {

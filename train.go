@@ -8,6 +8,7 @@ import (
 	"harmony/internal/exec"
 	"harmony/internal/fault"
 	"harmony/internal/nn"
+	"harmony/internal/trace"
 )
 
 // TrainerConfig configures real (float32) training of an MLP
@@ -57,6 +58,20 @@ type TrainerConfig struct {
 	// the dead device's work is re-bound to survivors and the step is
 	// re-run from the last completed weight update.
 	Recover bool
+	// PrefetchDepth controls schedule-driven prefetch in the parallel
+	// executor: async DMA workers swap in the inputs of the next
+	// PrefetchDepth tasks of each device's queue while its current
+	// kernel runs, and proactively write back dirty LRU pages. 0 uses
+	// the mode's default (2 for Harmony modes, off for baselines);
+	// negative disables. Prefetch changes only data movement, never
+	// math — weights stay bit-identical at every depth.
+	PrefetchDepth int
+	// LinkBytesPerSec models host-link bandwidth: each swap/p2p copy
+	// additionally costs bytes/LinkBytesPerSec of wall time on its
+	// DMA lane. 0 disables modeling (transfers cost only memcpy
+	// time). Useful for benchmarking how well prefetch hides swap
+	// latency.
+	LinkBytesPerSec int64
 }
 
 // Trainer trains a real model through Harmony's runtime.
@@ -111,20 +126,22 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		return nil, err
 	}
 	inner, err := exec.NewTrainer(exec.TrainerConfig{
-		Widths:         cfg.Widths,
-		Mode:           mode,
-		Devices:        cfg.Devices,
-		DeviceBytes:    cfg.DeviceBytes,
-		MicrobatchSize: cfg.BatchSize / mbCount,
-		Microbatches:   mbCount,
-		Optimizer:      opt,
-		LR:             lr,
-		Seed:           cfg.Seed,
-		Options:        schedOpts,
-		Serial:         cfg.Serial,
-		Injector:       inj,
-		MaxRetries:     cfg.MaxRetries,
-		Recover:        cfg.Recover,
+		Widths:          cfg.Widths,
+		Mode:            mode,
+		Devices:         cfg.Devices,
+		DeviceBytes:     cfg.DeviceBytes,
+		MicrobatchSize:  cfg.BatchSize / mbCount,
+		Microbatches:    mbCount,
+		Optimizer:       opt,
+		LR:              lr,
+		Seed:            cfg.Seed,
+		Options:         schedOpts,
+		Serial:          cfg.Serial,
+		Injector:        inj,
+		MaxRetries:      cfg.MaxRetries,
+		Recover:         cfg.Recover,
+		PrefetchDepth:   cfg.PrefetchDepth,
+		LinkBytesPerSec: cfg.LinkBytesPerSec,
 	})
 	if err != nil {
 		return nil, err
@@ -197,6 +214,18 @@ func (t *Trainer) OnFault(fn func(FaultEvent)) { t.inj.Observe(fn) }
 // retries the retry layers issued.
 func (t *Trainer) FaultStats() (injected, retries int) { return t.inj.Stats() }
 
+// EnableTrace starts recording a wall-clock execution timeline:
+// compute kernels plus demand-swap, p2p, prefetch and write-back DMA
+// lanes per device. Returns the live trace; read it only between
+// Steps. The swap-overlap Gantt this renders is how prefetch
+// effectiveness is eyeballed (see cmd/harmonytrain -swap-trace).
+func (t *Trainer) EnableTrace() *trace.Trace { return t.inner.EnableTrace() }
+
+// Close drains and stops the trainer's async DMA workers. Only needed
+// when discarding a trainer that ran with prefetch enabled; step
+// boundaries drain in-flight DMAs on their own.
+func (t *Trainer) Close() { t.inner.Close() }
+
 // Recoveries reports how many fatal device faults the trainer rolled
 // back from and resumed past.
 func (t *Trainer) Recoveries() int { return t.inner.Recoveries() }
@@ -259,20 +288,22 @@ func NewLeNetTrainer(cfg TrainerConfig) (*Trainer, error) {
 		return nil, err
 	}
 	inner, err := exec.NewTrainer(exec.TrainerConfig{
-		Kernels:        kernels,
-		Mode:           mode,
-		Devices:        cfg.Devices,
-		DeviceBytes:    cfg.DeviceBytes,
-		MicrobatchSize: cfg.BatchSize / mbCount,
-		Microbatches:   mbCount,
-		Optimizer:      opt,
-		LR:             lr,
-		Seed:           cfg.Seed,
-		Options:        schedOpts,
-		Serial:         cfg.Serial,
-		Injector:       inj,
-		MaxRetries:     cfg.MaxRetries,
-		Recover:        cfg.Recover,
+		Kernels:         kernels,
+		Mode:            mode,
+		Devices:         cfg.Devices,
+		DeviceBytes:     cfg.DeviceBytes,
+		MicrobatchSize:  cfg.BatchSize / mbCount,
+		Microbatches:    mbCount,
+		Optimizer:       opt,
+		LR:              lr,
+		Seed:            cfg.Seed,
+		Options:         schedOpts,
+		Serial:          cfg.Serial,
+		Injector:        inj,
+		MaxRetries:      cfg.MaxRetries,
+		Recover:         cfg.Recover,
+		PrefetchDepth:   cfg.PrefetchDepth,
+		LinkBytesPerSec: cfg.LinkBytesPerSec,
 	})
 	if err != nil {
 		return nil, err
