@@ -1,11 +1,11 @@
 # Developer entry points. `make check` is the tier-1 gate: everything
-# a change must pass before merging, including the race detector over
-# the concurrent executor and memory manager and a time-boxed fuzz of
-# the checkpoint loader.
+# a change must pass before merging, including the invariant linter
+# (harmonylint), the race detector over the concurrent executor and
+# memory manager, and a time-boxed fuzz of the checkpoint loader.
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-smoke fuzz check
+.PHONY: all build vet lint test race bench bench-json bench-smoke fuzz check
 
 all: check
 
@@ -14,6 +14,14 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static enforcement of the executor's concurrency and determinism
+# invariants (DESIGN.md §10): blocking under vm.mu, DMA claim-state
+# writes outside the transition helpers, wall-clock/rand/map-order
+# nondeterminism in the deterministic core, mutex copies and leaked
+# goroutines. Runs from the module root; exits non-zero on findings.
+lint: vet
+	$(GO) run ./cmd/harmonylint ./...
 
 test:
 	$(GO) test ./...
@@ -45,4 +53,4 @@ bench-smoke:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s -test.fuzzminimizetime 5s ./internal/exec/
 
-check: vet build test race fuzz bench-smoke
+check: lint build test race fuzz bench-smoke

@@ -1,0 +1,76 @@
+// Command harmonylint runs the repo's invariant-enforcing static
+// analysis suite (internal/analyzers) over Go packages and reports
+// findings in the usual file:line:col format. It exits non-zero when
+// anything is found, so `make lint` gates CI on it.
+//
+// Usage:
+//
+//	harmonylint [-v] [packages]
+//
+// Packages are go list patterns; the default is ./.... The tool must
+// run from inside the module (the Makefile does), because imports are
+// type-checked from source rather than fetched from a module proxy.
+//
+// False positives are silenced in place with an explained directive on
+// the flagged line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Directives are themselves checked: naming an unknown analyzer,
+// omitting the reason, or suppressing nothing is an error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"harmony/internal/analyzers"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print analyzed packages and the analyzer roster")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: harmonylint [-v] [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analyzers.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harmonylint: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	found := 0
+	for _, pkg := range pkgs {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "harmonylint: %s (%d files)\n", pkg.Path, len(pkg.Files))
+		}
+		diags, err := analyzers.RunAll(pkg, analyzers.All()...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harmonylint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "harmonylint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

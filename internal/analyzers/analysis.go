@@ -1,0 +1,282 @@
+// Package analyzers is harmonylint: a suite of static analysis passes
+// that mechanically enforce the executor's concurrency and determinism
+// invariants — the hand-maintained rules that PRs 1–3 documented in
+// comments (the vm.mu locking discipline, the "every resident claim is
+// committed" DMA rule, bit-exact determinism across interleavings) and
+// that the race detector can only catch probabilistically. Each
+// analyzer rejects a whole class of regression before any test runs:
+//
+//   - lockhold: blocking operations (channel send/recv, select without
+//     default, time.Sleep, WaitGroup.Wait, WaitIdle) while a mutex is
+//     held, and return paths that leak a held lock. Doc-comment
+//     contracts ("Requires mu held", "mu held on entry, released on
+//     return") set the expected entry/exit lock state for helpers.
+//   - claimdiscipline: writes to a buffer's DMA-state fields outside
+//     the claim/commit/settle transition helpers, and buffers made
+//     resident under a synchronous claim without a commit or settle
+//     before the lock is released (DESIGN.md §9's "every resident
+//     claim is committed").
+//   - determinism: wall-clock reads (time.Now/Since/Until), math/rand
+//     global state, and map iteration inside the deterministic core
+//     (internal/sched, internal/exec, internal/nn, internal/fault).
+//   - hygiene: lock-containing values copied by value (params,
+//     results, range copies, assignments) and goroutines launched with
+//     no shutdown path.
+//
+// The framework below is a self-contained, offline re-implementation
+// of the golang.org/x/tools/go/analysis surface this module needs
+// (Analyzer / Pass / Diagnostic plus an analysistest-style fixture
+// runner); the container has no module proxy access, so the suite
+// builds on the standard library's go/ast and go/types only.
+//
+// False positives are silenced with an explained allowlist directive
+// on the flagged line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// A directive without a reason, naming an unknown analyzer, or
+// suppressing nothing is itself reported, so the allowlist stays
+// minimal and auditable.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects a type-checked package
+// through the Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer
+	// enforces and why.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns the full harmonylint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Lockhold, ClaimDiscipline, Determinism, Hygiene}
+}
+
+// ---------------------------------------------------------- directives
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+var directiveRe = regexp.MustCompile(`^//lint:allow\s+(\S+)(?:\s+(.*))?$`)
+
+// parseDirectives extracts every //lint:allow directive from the
+// package's comments.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var ds []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				ds = append(ds, &directive{
+					pos:      fset.Position(c.Pos()),
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// covers reports whether the directive suppresses a diagnostic from
+// the given analyzer at the given position: same file, same line or
+// the line immediately below the directive.
+func (d *directive) covers(a string, pos token.Position) bool {
+	return d.analyzer == a && d.pos.Filename == pos.Filename &&
+		(d.pos.Line == pos.Line || d.pos.Line == pos.Line-1)
+}
+
+// RunAll runs the given analyzers over one loaded package, applies the
+// //lint:allow directives, and appends directive-hygiene findings
+// (missing reason, unknown analyzer, suppressing nothing). Returned
+// diagnostics are sorted by position.
+func RunAll(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	ds := parseDirectives(pkg.Fset, pkg.Files)
+	known := make(map[string]bool)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		known[a.Name] = true
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	diags:
+		for _, diag := range pass.diags {
+			for _, d := range ds {
+				if d.covers(a.Name, diag.Pos) {
+					d.used = true
+					continue diags
+				}
+			}
+			out = append(out, diag)
+		}
+	}
+	for _, d := range ds {
+		switch {
+		case !known[d.analyzer]:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "lint",
+				Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", d.analyzer)})
+		case d.reason == "":
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "lint",
+				Message: fmt.Sprintf("//lint:allow %s has no reason; every exception must be explained", d.analyzer)})
+		case !d.used:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "lint",
+				Message: fmt.Sprintf("//lint:allow %s suppresses nothing; remove the stale directive", d.analyzer)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// ------------------------------------------------------- type helpers
+
+// namedIn reports whether t (after pointer indirection) is the named
+// type pkgPath.name.
+func namedIn(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutex(t types.Type) bool {
+	return namedIn(t, "sync", "Mutex") || namedIn(t, "sync", "RWMutex")
+}
+
+// pkgFunc matches a call to a package-level function, e.g.
+// pkgFunc(info, call, "time", "Sleep").
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// methodOn reports whether call invokes a method with the given name
+// whose receiver type (after pointers) is pkgPath.typeName. Returns
+// the receiver expression.
+func methodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, method string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || !namedIn(t, pkgPath, typeName) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// enclosingFuncName tracks the FuncDecl a node belongs to while
+// inspecting a file. Used by analyzers that exempt specific functions.
+func forEachFunc(files []*ast.File, fn func(decl *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// exprString renders a (selector chain) expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "expr"
+	}
+}

@@ -1,0 +1,196 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ClaimDiscipline enforces the DMA buffer state machine of DESIGN.md
+// §9. A buffer's claim fields (state, done, async, committed) encode
+// an in-flight transfer that waiters and the eviction scan reason
+// about; mutating them ad hoc desynchronizes the three. Two rules:
+//
+//  1. Only the transition helpers — methods named claim, commit and
+//     settle — may assign a buffer's state, done, async or committed
+//     fields. Everything else must call the helpers, which validate
+//     the transition (claim panics on double claim, commit on an
+//     unclaimed buffer) and wake waiters consistently.
+//
+//  2. "Every resident claim is committed": in a function that takes a
+//     synchronous claim (claim(b, ..., false)), an assignment that
+//     makes the buffer resident (b.dev = <non-nil>) must be followed
+//     by commit(b) or settle(b) before any mutex Unlock (or the end
+//     of the function). Otherwise another device's reserve could
+//     observe a resident buffer whose claim it must not wait on — the
+//     deadlock class moveP2P's reserve-before-claim ordering exists
+//     to prevent.
+var ClaimDiscipline = &Analyzer{
+	Name: "claimdiscipline",
+	Doc: "report writes to a DMA buffer's claim fields outside the " +
+		"claim/commit/settle transition helpers, and buffers made resident " +
+		"under a synchronous claim without commit/settle before the lock is released",
+	Run: runClaimDiscipline,
+}
+
+// claimFields are the buffer fields owned by the state machine.
+var claimFields = map[string]bool{"state": true, "done": true, "async": true, "committed": true}
+
+// transitionHelpers may write claimFields.
+var transitionHelpers = map[string]bool{"claim": true, "commit": true, "settle": true}
+
+func runClaimDiscipline(pass *Pass) error {
+	forEachFunc(pass.Files, func(fd *ast.FuncDecl) {
+		checkClaimFieldWrites(pass, fd)
+		checkResidentCommit(pass, fd)
+	})
+	return nil
+}
+
+// isBufferType reports whether t (after pointers) is a named struct
+// type called "buffer" — the VM's DMA buffer. Matching by name keeps
+// the analyzer testable against fixtures while being unambiguous in
+// this module.
+func isBufferType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "buffer" {
+		return false
+	}
+	_, isStruct := n.Underlying().(*types.Struct)
+	return isStruct
+}
+
+// bufferFieldWrite matches an lvalue of the form b.<field> where b is
+// a buffer and field is part of the claim state machine.
+func bufferFieldWrite(pass *Pass, lhs ast.Expr) (field string, ok bool) {
+	sel, isSel := lhs.(*ast.SelectorExpr)
+	if !isSel || !claimFields[sel.Sel.Name] {
+		return "", false
+	}
+	if !isBufferType(pass.Info.TypeOf(sel.X)) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkClaimFieldWrites implements rule 1.
+func checkClaimFieldWrites(pass *Pass, fd *ast.FuncDecl) {
+	if transitionHelpers[fd.Name.Name] && fd.Recv != nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if f, ok := bufferFieldWrite(pass, l); ok {
+					pass.Reportf(l.Pos(),
+						"direct write to buffer.%s outside the claim/commit/settle transition helpers", f)
+				}
+			}
+		case *ast.IncDecStmt:
+			if f, ok := bufferFieldWrite(pass, n.X); ok {
+				pass.Reportf(n.Pos(),
+					"direct write to buffer.%s outside the claim/commit/settle transition helpers", f)
+			}
+		}
+		return true
+	})
+}
+
+// claimEvent is one state-machine-relevant statement, in source order.
+type claimEvent struct {
+	pos  token.Pos
+	kind string       // "claim", "resident", "resolve", "unlock"
+	obj  types.Object // the buffer variable, for claim/resident/resolve
+}
+
+// checkResidentCommit implements rule 2 with a source-order scan: the
+// straight-line style of the VM (claim → reserve → install residency →
+// commit/settle → unlock) makes lexical order a faithful proxy for
+// execution order, and the fixtures pin that interpretation.
+func checkResidentCommit(pass *Pass, fd *ast.FuncDecl) {
+	var events []claimEvent
+	rootObj := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if o := pass.Info.Uses[id]; o != nil {
+			return o
+		}
+		return pass.Info.Defs[id]
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "claim":
+					if len(n.Args) == 3 && isBufferType(pass.Info.TypeOf(n.Args[0])) {
+						if id, ok := n.Args[2].(*ast.Ident); ok && id.Name == "false" {
+							events = append(events, claimEvent{n.Pos(), "claim", rootObj(n.Args[0])})
+						}
+					}
+				case "commit", "settle":
+					if len(n.Args) == 1 && isBufferType(pass.Info.TypeOf(n.Args[0])) {
+						events = append(events, claimEvent{n.Pos(), "resolve", rootObj(n.Args[0])})
+					}
+				case "Unlock", "RUnlock":
+					if t := pass.Info.TypeOf(sel.X); t != nil && isMutex(t) {
+						events = append(events, claimEvent{n.Pos(), "unlock", nil})
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				sel, ok := l.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "dev" || !isBufferType(pass.Info.TypeOf(sel.X)) {
+					continue
+				}
+				if i < len(n.Rhs) {
+					if id, ok := n.Rhs[i].(*ast.Ident); ok && id.Name == "nil" {
+						continue // releasing residency, not establishing it
+					}
+				}
+				events = append(events, claimEvent{l.Pos(), "resident", rootObj(sel.X)})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	claimed := map[types.Object]bool{}
+	for i, ev := range events {
+		switch ev.kind {
+		case "claim":
+			if ev.obj != nil {
+				claimed[ev.obj] = true
+			}
+		case "resident":
+			if ev.obj == nil || !claimed[ev.obj] {
+				continue
+			}
+			resolved := false
+			for _, later := range events[i+1:] {
+				if later.kind == "resolve" && later.obj == ev.obj {
+					resolved = true
+					break
+				}
+				if later.kind == "unlock" {
+					break
+				}
+			}
+			if !resolved {
+				pass.Reportf(ev.pos,
+					"buffer made resident under a synchronous claim without commit/settle before the lock is released (every resident claim must complete autonomously)")
+			}
+		}
+	}
+}

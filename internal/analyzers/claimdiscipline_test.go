@@ -1,0 +1,12 @@
+package analyzers
+
+import "testing"
+
+func TestClaimDiscipline(t *testing.T) {
+	diags := runFixture(t, "claimdisc", ClaimDiscipline)
+	// Regression pins: the raw committed write (the exact pattern the
+	// commit() helper replaced in the VM) and the uncommitted resident
+	// claim must both be caught.
+	mustDiag(t, diags, "claimdiscipline", `direct write to buffer\.committed`)
+	mustDiag(t, diags, "claimdiscipline", `resident under a synchronous claim without commit/settle`)
+}

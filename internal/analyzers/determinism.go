@@ -1,0 +1,113 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the repo's central correctness property: given a
+// seed, a schedule and a fault trace, training is bit-exact across
+// runs and across goroutine interleavings (ROADMAP north star; the
+// fault-recovery tests replay mid-iteration and diff weights exactly).
+// Three constructs silently break that property and are therefore
+// banned from the deterministic core — internal/sched, internal/exec,
+// internal/nn and internal/fault:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until): any value
+//     derived from them differs across runs. Timing belongs behind
+//     trace.Clock, injected at the edges, so the deterministic path
+//     never observes it.
+//   - math/rand package-level state (rand.Intn, rand.Float64,
+//     rand.Seed, ...): the global source is shared, lock-ordered by
+//     interleaving, and unseedable per-component. Use an explicit
+//     *rand.Rand threaded from the config seed.
+//   - map iteration: Go randomizes range order per run. Iterating a
+//     map to pick a victim, order work or accumulate floats makes the
+//     result interleaving-dependent (the waitableInFlight eviction
+//     scan regressed exactly this way before moving to the LRU list).
+//
+// Uses with no scheduling consequence (pure logging, trace recording)
+// are documented case by case with //lint:allow determinism <reason>.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, math/rand global state and map iteration " +
+		"in the deterministic core (internal/sched, internal/exec, internal/nn, internal/fault)",
+	Run: runDeterminism,
+}
+
+// deterministicCore lists the package path suffixes in scope. Matching
+// by suffix (or exact base name, for fixtures) rather than full path
+// keeps the analyzer independent of the module name.
+var deterministicCore = []string{
+	"internal/sched", "internal/exec", "internal/nn", "internal/fault",
+}
+
+func inDeterministicCore(path string) bool {
+	for _, s := range deterministicCore {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+		if base := s[strings.LastIndex(s, "/")+1:]; path == base {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockFuncs are the time package functions that read the real
+// clock. time.Sleep is lockhold's concern; types like time.Duration
+// and constructors like time.Date are deterministic and allowed.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(pass *Pass) error {
+	if !inDeterministicCore(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for name := range wallClockFuncs {
+					if pkgFunc(pass.Info, n, "time", name) {
+						pass.Reportf(n.Pos(),
+							"time.%s in the deterministic core; wall-clock reads must go through an injected trace.Clock", name)
+					}
+				}
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok {
+					if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "math/rand" {
+						if isRandGlobal(pass.Info, n) {
+							pass.Reportf(n.Pos(),
+								"math/rand global state (rand.%s) in the deterministic core; thread an explicit *rand.Rand from the config seed", n.Sel.Name)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(),
+							"map iteration in the deterministic core; range order is randomized per run — iterate a sorted key slice or an ordered structure instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRandGlobal reports whether sel references math/rand package-level
+// mutable state: the global-source convenience functions and Seed.
+// Constructors (New, NewSource, NewZipf, ...) and type names return or
+// name explicit sources and are fine.
+func isRandGlobal(info *types.Info, sel *ast.SelectorExpr) bool {
+	obj := info.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return false // type names, consts
+	}
+	return !strings.HasPrefix(sel.Sel.Name, "New")
+}

@@ -1,0 +1,237 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hygiene bundles two shallow-but-sharp checks that guard the
+// executor's goroutine topology:
+//
+//   - mutexcopy: a value containing a sync.Mutex or sync.RWMutex
+//     copied by value — parameter, result, receiver, range copy or
+//     plain assignment from a dereference. The copy has its own lock
+//     word, so two goroutines "sharing" the value serialize on
+//     different mutexes; go vet's copylocks catches some of these,
+//     but not lock-containing types behind this module's own structs
+//     when passed through interfaces. Reported here so the whole
+//     invariant suite lives in one place.
+//   - ctxleak: `go` statements whose function body has no visible
+//     shutdown path — no WaitGroup.Done, no select, no range over a
+//     channel, no channel receive. Every long-lived goroutine in the
+//     executor (dmaWorker, device workers, the nn pool) either drains
+//     a channel that Close closes or signals a WaitGroup; a goroutine
+//     with neither outlives its VM and trips the leak checks in
+//     -race CI runs nondeterministically.
+var Hygiene = &Analyzer{
+	Name: "hygiene",
+	Doc: "report lock-containing values copied by value, and goroutines " +
+		"launched with no shutdown path (no WaitGroup.Done, select, channel receive or channel range)",
+	Run: runHygiene,
+}
+
+func runHygiene(pass *Pass) error {
+	runMutexCopy(pass)
+	runCtxLeak(pass)
+	return nil
+}
+
+// ----------------------------------------------------------- mutexcopy
+
+// containsLock reports whether a value of type t embeds a mutex —
+// directly, through struct fields, or through array elements. Pointers
+// and interfaces stop the search: copying those copies a reference.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isMutex(t) {
+		// isMutex tolerates pointers; a *sync.Mutex copy is fine.
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return false
+		}
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+func runMutexCopy(pass *Pass) {
+	forEachFunc(pass.Files, func(fd *ast.FuncDecl) {
+		// By-value receivers and parameters.
+		if fd.Recv != nil {
+			for _, f := range fd.Recv.List {
+				checkLockField(pass, f, "receiver")
+			}
+		}
+		for _, f := range fd.Type.Params.List {
+			checkLockField(pass, f, "parameter")
+		}
+		if fd.Type.Results != nil {
+			for _, f := range fd.Type.Results.List {
+				checkLockField(pass, f, "result")
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if t := pass.Info.TypeOf(n.Value); t != nil && containsLock(t) {
+					pass.Reportf(n.Value.Pos(),
+						"range copies %s, which contains a mutex; iterate by index or over pointers", typeName(t))
+				}
+			case *ast.AssignStmt:
+				for i, r := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					// Copying through a dereference or another
+					// variable duplicates the lock; composite
+					// literals and function calls mint fresh values.
+					switch r.(type) {
+					case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+					default:
+						continue
+					}
+					if isBlank(n.Lhs[i]) {
+						continue
+					}
+					t := pass.Info.TypeOf(r)
+					if t != nil && containsLock(t) {
+						pass.Reportf(r.Pos(),
+							"assignment copies %s, which contains a mutex", typeName(t))
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// checkLockField flags a by-value field (param/result/receiver) whose
+// type contains a lock.
+func checkLockField(pass *Pass, f *ast.Field, role string) {
+	t := pass.Info.TypeOf(f.Type)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	if containsLock(t) {
+		pass.Reportf(f.Type.Pos(),
+			"%s passes %s by value, copying its mutex; use a pointer", role, typeName(t))
+	}
+}
+
+func typeName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// ------------------------------------------------------------- ctxleak
+
+func runCtxLeak(pass *Pass) {
+	// Map package-level functions and methods to their bodies so `go
+	// vm.dmaWorker(d)` can be traced to the loop it runs.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	forEachFunc(pass.Files, func(fd *ast.FuncDecl) {
+		if obj := pass.Info.Defs[fd.Name]; obj != nil {
+			decls[obj] = fd
+		}
+	})
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goTargetBody(pass, decls, g.Call)
+			if body == nil {
+				return true // external or dynamic target: not checkable
+			}
+			if !hasShutdownPath(pass, body) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no shutdown path (no WaitGroup.Done, select, channel receive or channel range); it will outlive its owner")
+			}
+			return true
+		})
+	}
+}
+
+// goTargetBody resolves the body the go statement will run, if it is
+// visible in this package.
+func goTargetBody(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[pass.Info.Uses[fun]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[pass.Info.Uses[fun.Sel]]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// hasShutdownPath reports whether the body contains any construct by
+// which the goroutine can learn it should exit or signal that it has.
+func hasShutdownPath(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if _, ok := methodOn(pass.Info, n, "sync", "WaitGroup", "Done"); ok {
+				found = true
+			}
+			if _, ok := methodOn(pass.Info, n, "sync", "Cond", "Wait"); ok {
+				// A Cond.Wait loop re-checks a condition the owner
+				// can flip at shutdown (dmaWorker's quit flag).
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,10 @@
+package analyzers
+
+import "testing"
+
+func TestHygiene(t *testing.T) {
+	diags := runFixture(t, "hygiene", Hygiene)
+	// Regression pins: one from each half of the pass.
+	mustDiag(t, diags, "hygiene", `goroutine has no shutdown path`)
+	mustDiag(t, diags, "hygiene", `passes guarded by value, copying its mutex`)
+}

@@ -1,0 +1,143 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load enumerates packages matching the go list patterns (relative to
+// dir), parses their non-test sources and type-checks them. It works
+// fully offline: imports — standard library and module-internal alike
+// — are resolved by the compiler's source importer, which type-checks
+// dependencies from source instead of fetching export data, so the
+// linter needs neither a populated module cache nor network access.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	metas, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, m := range metas {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		var paths []string
+		for _, f := range m.GoFiles {
+			paths = append(paths, filepath.Join(m.Dir, f))
+		}
+		pkg, err := check(fset, imp, m.ImportPath, m.Dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks every .go file directly inside dir as
+// a single package with the given import path. Used by the fixture
+// runner, whose testdata packages are invisible to go list.
+func LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("analyzers: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return check(fset, imp, importPath, dir, paths)
+}
+
+// check parses and type-checks one package's files.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, paths []string) (*Package, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// listedPackage is the subset of `go list -json` output we need.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// goList shells out to the go tool to enumerate packages and their
+// build-constraint-filtered source files.
+func goList(dir string, patterns ...string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analyzers: go list: %v: %s", err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []listedPackage
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("analyzers: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,11 @@
+package analyzers
+
+import "testing"
+
+func TestLockhold(t *testing.T) {
+	diags := runFixture(t, "lockhold", Lockhold)
+	// Regression pins: the two failure classes that motivated the pass
+	// must be present, not just matched by some want.
+	mustDiag(t, diags, "lockhold", `channel receive while mu is held`)
+	mustDiag(t, diags, "lockhold", `return path leaks held lock mu`)
+}

@@ -1,0 +1,115 @@
+// Package claimdisc is the fixture for the claimdiscipline analyzer:
+// the DMA buffer state machine may only be advanced through the
+// claim/commit/settle helpers, and a buffer made resident under a
+// synchronous claim must be committed or settled before the lock is
+// released.
+package claimdisc
+
+import "sync"
+
+type page struct{ data []byte }
+
+// buffer mirrors the executor's DMA buffer: the four claim fields plus
+// residency.
+type buffer struct {
+	state     int
+	done      chan struct{}
+	async     bool
+	committed bool
+	dev       *page
+	host      *page
+}
+
+type vm struct {
+	mu sync.Mutex
+}
+
+// claim, commit and settle are the transition helpers; writes to the
+// claim fields inside them are the point.
+func (v *vm) claim(b *buffer, st int, async bool) {
+	b.state = st
+	b.done = make(chan struct{})
+	b.async = async
+	b.committed = false
+}
+
+func (v *vm) commit(b *buffer) {
+	b.committed = true
+}
+
+func (v *vm) settle(b *buffer) {
+	b.state = 0
+	close(b.done)
+	b.done = nil
+	b.async = false
+	b.committed = false
+}
+
+// rawCommit is the regression that motivated rule 1: flipping
+// committed directly skips the helper's unclaimed-buffer panic.
+func (v *vm) rawCommit(b *buffer) {
+	b.committed = true // want "direct write to buffer.committed outside the claim/commit/settle transition helpers"
+}
+
+func (v *vm) rawState(b *buffer) {
+	b.state = 2      // want "direct write to buffer.state outside the claim/commit/settle transition helpers"
+	b.done = nil     // want "direct write to buffer.done outside the claim/commit/settle transition helpers"
+	b.async = true   // want "direct write to buffer.async outside the claim/commit/settle transition helpers"
+	b.host = &page{} // residency fields are not state-machine fields
+	b.dev = nil      // neither is dev
+}
+
+// swapInGood is the canonical correct shape: synchronous claim, make
+// resident, commit, unlock.
+func (v *vm) swapInGood(b *buffer) {
+	v.mu.Lock()
+	v.claim(b, 1, false)
+	b.dev = &page{}
+	v.commit(b)
+	v.mu.Unlock()
+}
+
+// swapInSettled resolves the claim with settle instead; equally fine.
+func (v *vm) swapInSettled(b *buffer) {
+	v.mu.Lock()
+	v.claim(b, 1, false)
+	b.dev = &page{}
+	v.settle(b)
+	v.mu.Unlock()
+}
+
+// swapInLeaky releases the lock with a resident, uncommitted claim —
+// another device's reserve can now see a resident buffer whose claim
+// it must not wait on.
+func (v *vm) swapInLeaky(b *buffer) {
+	v.mu.Lock()
+	v.claim(b, 1, false)
+	b.dev = &page{} // want "buffer made resident under a synchronous claim without commit/settle before the lock is released"
+	v.mu.Unlock()
+	v.commit(b)
+}
+
+// asyncClaim is exempt from rule 2: async claims are committed later
+// by the DMA worker's completion path.
+func (v *vm) asyncClaim(b *buffer) {
+	v.mu.Lock()
+	v.claim(b, 1, true)
+	b.dev = &page{}
+	v.mu.Unlock()
+}
+
+// evict drops residency; assigning nil is not "making resident".
+func (v *vm) evict(b *buffer) {
+	v.mu.Lock()
+	v.claim(b, 1, false)
+	b.dev = nil
+	v.settle(b)
+	v.mu.Unlock()
+}
+
+// allowedRaw shows the escape hatch for genuinely special cases, with
+// the mandatory reason.
+func (v *vm) allowedRaw(b *buffer) {
+	//lint:allow claimdiscipline test-only reset between iterations
+	b.committed = false
+}

@@ -1,0 +1,157 @@
+// Package hygiene is the fixture for the hygiene analyzer: mutexcopy
+// (lock-containing values copied by value) and ctxleak (goroutines
+// launched with no shutdown path).
+package hygiene
+
+import "sync"
+
+// guarded contains a mutex, so copying it by value forks the lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapper embeds guarded; the lock travels with it.
+type wrapper struct {
+	g guarded
+}
+
+// refHolder holds the lock behind a pointer; copies share the mutex.
+type refHolder struct {
+	mu *sync.Mutex
+}
+
+func byValueParam(g guarded) int { // want "parameter passes guarded by value, copying its mutex"
+	return g.n
+}
+
+func byPointerParam(g *guarded) int {
+	return g.n
+}
+
+func refHolderParam(r refHolder) *sync.Mutex {
+	return r.mu
+}
+
+func byValueResult() (w wrapper) { // want "result passes wrapper by value, copying its mutex"
+	return
+}
+
+func (g guarded) valueMethod() int { // want "receiver passes guarded by value, copying its mutex"
+	return g.n
+}
+
+func (g *guarded) pointerMethod() int {
+	return g.n
+}
+
+func rangeCopies(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range copies guarded, which contains a mutex"
+		total += g.n
+	}
+	return total
+}
+
+func rangeByIndex(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+func derefCopy(p *guarded) {
+	c := *p // want "assignment copies guarded, which contains a mutex"
+	_ = c
+}
+
+func indexCopy(gs []guarded) {
+	c := gs[0] // want "assignment copies guarded, which contains a mutex"
+	_ = c
+}
+
+// freshValue mints a new value; no existing lock is duplicated.
+func freshValue() {
+	g := guarded{}
+	_ = g
+}
+
+// leakyGoroutine spins forever with no way to learn about shutdown.
+func leakyGoroutine() {
+	go func() { // want "goroutine has no shutdown path"
+		for {
+			work()
+		}
+	}()
+}
+
+// drainUntilClosed exits when the owner closes the channel.
+func drainUntilClosed(ch chan int) {
+	go func() {
+		for x := range ch {
+			_ = x
+		}
+	}()
+}
+
+// signalsDone reports completion through the WaitGroup.
+func signalsDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// selectsOnQuit watches a quit channel.
+func selectsOnQuit(quit chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case x := <-ch:
+				_ = x
+			}
+		}
+	}()
+}
+
+// namedWorker resolves through the package scope to a body that drains
+// a channel; launching it is fine.
+func namedWorker(ch chan int) {
+	for x := range ch {
+		_ = x
+	}
+}
+
+func launchNamed(ch chan int) {
+	go namedWorker(ch)
+}
+
+type pump struct{ ch chan int }
+
+// loop has no exit; launching it as a method leaks too.
+func (p *pump) loop() {
+	for {
+		work()
+	}
+}
+
+func (p *pump) start() {
+	go p.loop() // want "goroutine has no shutdown path"
+}
+
+// allowedLeak documents why this goroutine may outlive its owner: it
+// is a process-lifetime metrics pump.
+func allowedLeak() {
+	//lint:allow hygiene process-lifetime metrics pump; exits with the process
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func work() {}

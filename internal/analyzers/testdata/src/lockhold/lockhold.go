@@ -1,0 +1,172 @@
+// Package lockhold is the fixture for the lockhold analyzer: blocking
+// operations under a held mutex, leaked locks on return paths, and the
+// doc-comment contracts that adjust the expected entry/exit state.
+package lockhold
+
+import (
+	"sync"
+	"time"
+)
+
+type vmish struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	work chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (v *vmish) WaitIdle() {}
+
+// recvUnderLock is the canonical violation: a channel wait while the
+// metadata lock is held stalls every other goroutine needing the VM.
+func (v *vmish) recvUnderLock() int {
+	v.mu.Lock()
+	x := <-v.work // want "channel receive while mu is held"
+	v.mu.Unlock()
+	return x
+}
+
+func (v *vmish) sendUnderLock() {
+	v.mu.Lock()
+	v.work <- 1 // want "channel send while mu is held"
+	v.mu.Unlock()
+}
+
+// recvReleased is the correct shape: release, wait, reacquire.
+func (v *vmish) recvReleased() int {
+	v.mu.Lock()
+	v.mu.Unlock()
+	x := <-v.work
+	v.mu.Lock()
+	v.mu.Unlock()
+	return x
+}
+
+func (v *vmish) sleepUnderLock() {
+	v.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while mu is held"
+	v.mu.Unlock()
+}
+
+func (v *vmish) waitGroupUnderLock() {
+	v.mu.Lock()
+	v.wg.Wait() // want "sync.WaitGroup.Wait while mu is held"
+	v.mu.Unlock()
+}
+
+func (v *vmish) waitIdleUnderLock() {
+	v.mu.Lock()
+	v.WaitIdle() // want "WaitIdle \\(drains async DMA\\) while mu is held"
+	v.mu.Unlock()
+}
+
+func (v *vmish) selectUnderLock() {
+	v.mu.Lock()
+	select { // want "select without default while mu is held"
+	case <-v.done:
+	case x := <-v.work:
+		_ = x
+	}
+	v.mu.Unlock()
+}
+
+// selectWithDefault never parks, so holding the lock across it is fine.
+func (v *vmish) selectWithDefault() {
+	v.mu.Lock()
+	select {
+	case <-v.done:
+	default:
+	}
+	v.mu.Unlock()
+}
+
+// condWait is exempt: sync.Cond.Wait releases the mutex while parked.
+func (v *vmish) condWait() {
+	v.mu.Lock()
+	for len(v.work) == 0 {
+		v.cond.Wait()
+	}
+	v.mu.Unlock()
+}
+
+func (v *vmish) rangeChanUnderLock() {
+	v.mu.Lock()
+	for x := range v.work { // want "range over channel while mu is held"
+		_ = x
+	}
+	v.mu.Unlock()
+}
+
+// leakOnEarlyReturn forgets the unlock on the error path.
+func (v *vmish) leakOnEarlyReturn(bad bool) error {
+	v.mu.Lock()
+	if bad {
+		return errSentinel // want "return path leaks held lock mu"
+	}
+	v.mu.Unlock()
+	return nil
+}
+
+// deferUnlock is the idiomatic leak-proof shape.
+func (v *vmish) deferUnlock(bad bool) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if bad {
+		return errSentinel
+	}
+	return nil
+}
+
+// requiresHeld runs under the caller's lock. Requires mu held.
+func (v *vmish) requiresHeld() {
+	<-v.done // want "channel receive while mu is held"
+}
+
+// requiresHeldOK runs under the caller's lock and returns with it
+// still held, as the contract allows. Requires mu held.
+func (v *vmish) requiresHeldOK() {
+	v.touch()
+}
+
+// handoff transfers lock ownership: mu held on entry, released on
+// return.
+func (v *vmish) handoff() {
+	v.mu.Unlock()
+}
+
+// handoffLeak claims the release contract but keeps the lock on one
+// path: mu held on entry, released on return.
+func (v *vmish) handoffLeak(bad bool) {
+	if bad {
+		return // want "return path leaks held lock mu"
+	}
+	v.mu.Unlock()
+}
+
+// callsHandoff relies on handoff's "released on return" contract: the
+// analyzer transitions mu to unlocked at the call, so neither the
+// receive nor the return is flagged.
+func (v *vmish) callsHandoff() int {
+	v.mu.Lock()
+	v.handoff()
+	return <-v.work
+}
+
+// allowedRecv documents why this wait is safe: the channel is buffered
+// and pre-filled by the caller, so the receive cannot park.
+func (v *vmish) allowedRecv() int {
+	v.mu.Lock()
+	//lint:allow lockhold buffered and pre-filled by caller; never parks
+	x := <-v.work
+	v.mu.Unlock()
+	return x
+}
+
+func (v *vmish) touch() {}
+
+var errSentinel = sentinelErr{}
+
+type sentinelErr struct{}
+
+func (sentinelErr) Error() string { return "sentinel" }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -28,6 +29,62 @@ type dmaReq struct {
 	b    *buffer
 	kind dmaKind
 	dev  int // device whose DMA lane services the request
+}
+
+// ------------------------------------------------------ state machine
+//
+// claim, commit and settle are the only functions allowed to write a
+// buffer's DMA-state fields (state, done, async, committed) — every
+// other transition path must go through them so waiters, eviction and
+// the reserve path always see a coherent claim. The claimdiscipline
+// analyzer (internal/analyzers) rejects direct writes anywhere else.
+
+// claim marks b's in-flight DMA. Requires mu held and b idle.
+func (vm *VM) claim(b *buffer, st bufState, async bool) {
+	if b.state != stIdle || b.done != nil {
+		panic(fmt.Sprintf("exec: double claim of %s", b.t))
+	}
+	b.state = st
+	b.done = make(chan struct{})
+	b.async = async
+}
+
+// commit marks a synchronous claim as past its reserve: only the pure
+// transfer remains, so the operation completes autonomously and
+// eviction may safely wait on it. Requires mu held and b claimed.
+// Upholds DESIGN.md §9's "every resident claim is committed": callers
+// must commit (or settle) before the buffer becomes visible as
+// resident outside the lock.
+func (vm *VM) commit(b *buffer) {
+	if b.state == stIdle || b.done == nil {
+		panic(fmt.Sprintf("exec: commit of unclaimed %s", b.t))
+	}
+	b.committed = true
+}
+
+// settle completes b's in-flight DMA and wakes every waiter.
+// Requires mu held.
+func (vm *VM) settle(b *buffer) {
+	b.state = stIdle
+	b.async = false
+	b.committed = false
+	close(b.done)
+	b.done = nil
+}
+
+// waitableInFlight returns the least-recently-used buffer on dev whose
+// in-flight operation completes autonomously — a DMA-worker op, or a
+// synchronous op past its reserve — or nil. Scanning the device's LRU
+// list (not the buffer map) keeps the choice deterministic for a given
+// residency history and touches only resident buffers. Requires mu
+// held.
+func (vm *VM) waitableInFlight(dev int) *buffer {
+	for b := vm.lru[dev].head; b != nil; b = b.next {
+		if b.async || b.committed {
+			return b
+		}
+	}
+	return nil
 }
 
 // StartEngine launches one DMA worker goroutine per device and allows
@@ -224,10 +281,10 @@ func (vm *VM) service(req dmaReq) {
 	case dmaSwapIn:
 		err := vm.inject(fault.SwapIn, req.dev, b.t)
 		if err == nil {
-			start := time.Now()
+			start := vm.clk.Now()
 			copyChunked(b.dev, b.host)
 			vm.linkSleep(bytes)
-			busy := time.Since(start)
+			busy := vm.clk.Now().Sub(start)
 			vm.record(req.dev, trace.Prefetch, "pf "+b.t.String(), start)
 			vm.mu.Lock()
 			b.dirty = false
@@ -252,10 +309,10 @@ func (vm *VM) service(req dmaReq) {
 	case dmaWriteback:
 		err := vm.inject(fault.SwapOut, req.dev, b.t)
 		if err == nil {
-			start := time.Now()
+			start := vm.clk.Now()
 			copyChunked(b.host, b.dev)
 			vm.linkSleep(bytes)
-			busy := time.Since(start)
+			busy := vm.clk.Now().Sub(start)
 			vm.record(req.dev, trace.SwapOut, "cl "+b.t.String(), start)
 			vm.mu.Lock()
 			b.dirty = false
@@ -306,5 +363,5 @@ func (vm *VM) record(dev int, lane trace.Lane, label string, start time.Time) {
 	if rec == nil {
 		return
 	}
-	rec(dev, lane, label, start, time.Now())
+	rec(dev, lane, label, start, vm.clk.Now())
 }

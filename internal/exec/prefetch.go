@@ -63,7 +63,7 @@ func (r *runRecorder) add(dev int, lane trace.Lane, label string, start, end tim
 // the live trace — read it only between Steps. Calling it again
 // restarts with a fresh trace.
 func (tr *Trainer) EnableTrace() *trace.Trace {
-	tr.rec = &runRecorder{epoch: time.Now()}
+	tr.rec = &runRecorder{epoch: tr.vm.clk.Now()}
 	tr.vm.SetRecorder(tr.rec.add)
 	return &tr.rec.tr
 }

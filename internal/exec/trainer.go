@@ -631,8 +631,8 @@ func (tr *Trainer) runTask(dev int, t *graph.Task, labels [][][]int) (float32, b
 		return 0, false, err
 	}
 	if r := tr.rec; r != nil {
-		start := time.Now()
-		defer func() { r.add(dev, trace.Compute, t.String(), start, time.Now()) }()
+		start := tr.vm.clk.Now()
+		defer func() { r.add(dev, trace.Compute, t.String(), start, tr.vm.clk.Now()) }()
 	}
 	g := tr.g
 	batch := tr.cfg.MicrobatchSize

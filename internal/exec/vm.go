@@ -156,6 +156,12 @@ type VM struct {
 	clock    int64
 	Stats    VMStats
 
+	// clk sources every wall-clock timestamp the VM records (DMA
+	// spans, overlap counters). Immutable after NewVM; reading time
+	// through an injectable Clock keeps recording off the
+	// deterministic path (enforced by the determinism analyzer).
+	clk trace.Clock
+
 	// Async DMA engine (StartEngine); nil queues mean the engine is
 	// off and EnsureAsync/CleanAhead are no-ops.
 	queues       [][]dmaReq
@@ -208,6 +214,7 @@ func NewVM(devices int, capacityBytes int64, pol memory.Policy) *VM {
 		bufs:      make(map[int]*buffer),
 		lru:       make([]lruList, devices),
 		cleanSeen: -1, // first CleanAhead may act before any stall
+		clk:       trace.WallClock{},
 	}
 }
 
@@ -356,40 +363,6 @@ func (vm *VM) victim(dev int) *buffer {
 	return prefetched
 }
 
-// ------------------------------------------------------ state machine
-
-// claim marks b's in-flight DMA. Requires mu held and b idle.
-func (vm *VM) claim(b *buffer, st bufState, async bool) {
-	if b.state != stIdle || b.done != nil {
-		panic(fmt.Sprintf("exec: double claim of %s", b.t))
-	}
-	b.state = st
-	b.done = make(chan struct{})
-	b.async = async
-}
-
-// settle completes b's in-flight DMA and wakes every waiter.
-// Requires mu held.
-func (vm *VM) settle(b *buffer) {
-	b.state = stIdle
-	b.async = false
-	b.committed = false
-	close(b.done)
-	b.done = nil
-}
-
-// waitableInFlight returns a buffer on dev whose in-flight operation
-// completes autonomously — a DMA-worker op, or a synchronous op past
-// its reserve — or nil. Requires mu held.
-func (vm *VM) waitableInFlight(dev int) *buffer {
-	for _, b := range vm.bufs {
-		if (b.async || b.committed) && b.dev != nil && b.devID == dev {
-			return b
-		}
-	}
-	return nil
-}
-
 // --------------------------------------------------------- public API
 
 // HostAlloc materializes a tensor's host backing (zeroed) and returns
@@ -521,7 +494,7 @@ func (vm *VM) swapIn(dev int, b *buffer) ([]float32, error) {
 	dst := make([]float32, b.floats())
 	b.dev = dst
 	b.devID = dev
-	b.committed = true // reserve done: only the copy remains
+	vm.commit(b) // reserve done: only the copy remains
 	vm.used[dev] += b.t.Bytes
 	vm.lruPush(dev, b)
 	vm.mu.Unlock()
@@ -533,7 +506,7 @@ func (vm *VM) swapIn(dev int, b *buffer) ([]float32, error) {
 		vm.mu.Unlock()
 		return nil, err
 	}
-	start := time.Now()
+	start := vm.clk.Now()
 	copyChunked(dst, b.host)
 	vm.linkSleep(b.t.Bytes)
 	vm.record(dev, trace.SwapIn, "in "+b.t.String(), start)
@@ -573,7 +546,7 @@ func (vm *VM) moveP2P(dev int, b *buffer) ([]float32, error) {
 		return nil, errRetry
 	}
 	vm.claim(b, stSwapIn, false)
-	b.committed = true // destination held: completion frees the source
+	vm.commit(b) // destination held: completion frees the source
 	src, srcDev := b.dev, b.devID
 	dst := make([]float32, b.floats())
 	vm.used[dev] += bytes // hold the destination while copying
@@ -587,7 +560,7 @@ func (vm *VM) moveP2P(dev int, b *buffer) ([]float32, error) {
 		return nil, err
 	}
 
-	start := time.Now()
+	start := vm.clk.Now()
 	copyChunked(dst, src)
 	vm.linkSleep(bytes)
 	vm.record(dev, trace.P2P, "p2p "+b.t.String(), start)
@@ -751,7 +724,7 @@ func (vm *VM) evict(b *buffer) error {
 // with mu released under a claim.
 func (vm *VM) writeback(b *buffer, keepDev bool) error {
 	vm.claim(b, stSwapOut, false)
-	b.committed = true // write-backs never reserve; they only free
+	vm.commit(b) // write-backs never reserve; they only free
 	if b.host == nil {
 		b.host = make([]float32, b.floats())
 	}
@@ -759,7 +732,7 @@ func (vm *VM) writeback(b *buffer, keepDev bool) error {
 	vm.mu.Unlock()
 	err := vm.inject(fault.SwapOut, dev, b.t)
 	if err == nil {
-		start := time.Now()
+		start := vm.clk.Now()
 		copyChunked(host, src)
 		vm.linkSleep(b.t.Bytes)
 		vm.record(dev, trace.SwapOut, "out "+b.t.String(), start)

@@ -1,0 +1,32 @@
+package trace
+
+import "time"
+
+// Clock abstracts wall-clock reads for trace recording. The
+// deterministic core (internal/exec, internal/sched, internal/nn,
+// internal/fault) must never call time.Now directly — bit-exactness
+// across goroutine interleavings is audited by the determinism
+// analyzer (internal/analyzers) — so every timestamp it records flows
+// through an injectable Clock instead. Recording is the only consumer:
+// timestamps feed Gantt lanes and overlap counters, never scheduling
+// or numeric decisions, which is what keeps wall time off the
+// deterministic path.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock is the production Clock: real wall time.
+type WallClock struct{}
+
+// Now returns the current wall-clock time.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// FrozenClock is a Clock stuck at a fixed instant, for tests that
+// need trace spans without real time dependence. The zero value reads
+// the zero time.
+type FrozenClock struct {
+	At time.Time
+}
+
+// Now returns the frozen instant.
+func (c FrozenClock) Now() time.Time { return c.At }
