@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json bench-smoke fuzz check
+.PHONY: all build vet lint test race bench bench-json bench-smoke bench-gate schedcheck fuzz check
 
 all: check
 
@@ -48,9 +48,32 @@ bench-json:
 bench-smoke:
 	$(GO) run ./cmd/benchtrainer -steps 1 -out /dev/null
 
+# Performance regression gate: regenerate the swap-overlap report and
+# fail if the swap-bound config's prefetch speedup dropped >20% against
+# the checked-in baseline. CI runs this on every push.
+bench-gate:
+	$(GO) run ./cmd/benchtrainer -steps 4 -out /tmp/BENCH_trainer.new.json
+	$(GO) run ./cmd/benchgate -old BENCH_trainer.json -new /tmp/BENCH_trainer.new.json -row dp1-hostlink -max-regress 0.20
+
+# Static plan verification gate (part of `make check`): every clean
+# plan shape must PASS, and each seeded plan bug — rendezvous cycle,
+# analytic-volume divergence, over-capacity residency, uncommitted DMA
+# claim — must be rejected with a counterexample, both by the CLI and
+# by the harmonytrain preflight. The exhaustive per-variant sweep runs
+# in the schedcheck package tests (TestPropertySweep).
+schedcheck:
+	$(GO) run ./cmd/schedcheck -mode harmony-dp -devices 2
+	$(GO) run ./cmd/schedcheck -mode pp-baseline -devices 4 -layers 16 -prefetch=false
+	$(GO) run ./cmd/schedcheck -mode harmony-tp -devices 2
+	! $(GO) run ./cmd/schedcheck -mode dp-baseline -devices 2 -inject cycle
+	! $(GO) run ./cmd/schedcheck -mode dp-baseline -devices 2 -inject volume
+	! $(GO) run ./cmd/schedcheck -mode harmony-dp -devices 2 -inject overcap
+	! $(GO) run ./cmd/schedcheck -mode harmony-dp -devices 2 -inject uncommitted
+	! $(GO) run ./cmd/harmonytrain -arch mlp -widths 64,32,10 -devices 2 -device-mem 16384 -steps 1
+
 # Time-boxed fuzz of the checkpoint loader: arbitrary bytes must be
 # rejected with errors, never panics or huge allocations.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s -test.fuzzminimizetime 5s ./internal/exec/
 
-check: lint build test race fuzz bench-smoke
+check: lint build test race fuzz bench-smoke schedcheck

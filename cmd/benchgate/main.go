@@ -1,0 +1,76 @@
+// Command benchgate compares two benchtrainer reports and fails if a
+// named row's prefetch speedup regressed beyond a tolerance. It is the
+// CI guard for the swap-overlap win: BENCH_trainer.json is checked in
+// as the baseline, a fresh report is generated on each run, and a
+// >20% drop in speedup_vs_sync on the swap-bound config fails the
+// build before a prefetch regression can merge.
+//
+//	benchgate -old BENCH_trainer.json -new /tmp/bench.json -row dp1-hostlink -max-regress 0.20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	Rows []struct {
+		Name    string  `json:"name"`
+		Speedup float64 `json:"speedup_vs_sync"`
+	} `json:"rows"`
+}
+
+func speedup(path, row string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, rw := range r.Rows {
+		if rw.Name == row {
+			if rw.Speedup <= 0 {
+				return 0, fmt.Errorf("%s: row %q has non-positive speedup %g", path, row, rw.Speedup)
+			}
+			return rw.Speedup, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no row named %q", path, row)
+}
+
+func main() {
+	var (
+		oldPath    = flag.String("old", "BENCH_trainer.json", "baseline report (checked in)")
+		newPath    = flag.String("new", "", "freshly generated report to gate")
+		row        = flag.String("row", "dp1-hostlink", "row to compare")
+		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed fractional speedup drop")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	base, err := speedup(*oldPath, *row)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := speedup(*newPath, *row)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	drop := (base - cur) / base
+	fmt.Printf("benchgate: %s speedup_vs_sync baseline %.3f, current %.3f (drop %.1f%%, limit %.0f%%)\n",
+		*row, base, cur, 100*drop, 100**maxRegress)
+	if drop > *maxRegress {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s regressed %.1f%% > %.0f%%\n",
+			*row, 100*drop, 100**maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}

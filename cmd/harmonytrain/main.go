@@ -49,6 +49,7 @@ func main() {
 		prefetch  = flag.Int("prefetch-depth", 0, "async prefetch lookahead (0 = mode default, negative disables)")
 		linkBW    = flag.Int64("link-bw", 0, "modeled host-link bytes/sec charged to every swap/p2p copy (0 = memcpy cost only)")
 		swapTrace = flag.Bool("swap-trace", false, "print a compute/DMA-lane Gantt of the final step (shows swap-compute overlap)")
+		verify    = flag.Bool("verify", true, "statically verify the execution plan before training (schedcheck preflight; failures print a counterexample)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 		Adam: *adam, Seed: *seed,
 		FaultSpec: *faultSpec, MaxRetries: *maxRetry, Recover: *recov,
 		PrefetchDepth: *prefetch, LinkBytesPerSec: *linkBW,
+		NoVerify: !*verify,
 	}
 	switch *arch {
 	case "lenet":

@@ -134,10 +134,30 @@ func WeightVolumeCorrected(mode Mode, p Params) int64 {
 		return ideal - int64(p.N)*saved
 	case PPBaseline:
 		// The boundary effect applies within each of the N stages for
-		// that stage's own first/last layers; with a uniform model
-		// every boundary layer has the same size, so N·(first+last)
-		// bytes are saved per phase turn.
-		saved := int64(2*p.M) * int64(p.N) * (p.LastWBytes + p.FirstWBytes)
+		// that stage's own first/last layers (uniform model: every
+		// boundary layer has the same size). Unlike DP, the 1F1B
+		// schedule does not alternate fwd/bwd once per microbatch:
+		// stage st runs warm = min(M, N−st) forwards back-to-back
+		// before its first backward, and drains the same number of
+		// backwards at the end. Only the M−warm+1 fwd→bwd junctions in
+		// the steady 1F1B window (and symmetrically bwd→fwd) merge the
+		// boundary weights, so each stage saves 2·(M−warm+1) round
+		// trips of (first+last), not 2·M. Exception: a single-layer
+		// stage has one weight touched by every task, so the weight
+		// simply never leaves — zero steady-state traffic. Exact for
+		// uniform stages (R divisible by N); cross-checked against the
+		// simulator in TestPPCorrectedMatchesSimulation.
+		if p.R <= p.N {
+			return 0
+		}
+		var saved int64
+		for st := 0; st < p.N; st++ {
+			warm := p.N - st
+			if warm > p.M {
+				warm = p.M
+			}
+			saved += int64(2*(p.M-warm+1)) * (p.FirstWBytes + p.LastWBytes)
+		}
 		return ideal - saved
 	case HarmonyDP:
 		// The last layer's W survives the single fwd→bwd turn and
@@ -145,7 +165,12 @@ func WeightVolumeCorrected(mode Mode, p Params) int64 {
 		return ideal - int64(p.N)*(p.LastWBytes+p.FirstWBytes)
 	case HarmonyPP:
 		// Each stage's last layer survives its fwd→bwd turn and its
-		// first layer survives into the next iteration.
+		// first layer survives into the next iteration. Single-layer
+		// stages degenerate the same way as PPBaseline's: the stage's
+		// only weight is touched by every task and never leaves.
+		if p.R <= p.N {
+			return 0
+		}
 		return ideal - int64(p.N)*(p.LastWBytes+p.FirstWBytes)
 	default:
 		panic(fmt.Sprintf("analytic: unknown mode %v", mode))

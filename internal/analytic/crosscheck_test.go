@@ -1,6 +1,7 @@
 package analytic
 
 import (
+	"fmt"
 	"testing"
 
 	"harmony/internal/graph"
@@ -81,6 +82,45 @@ func TestPerKindVolumesMatchAnalytic(t *testing.T) {
 		// Stash: 2m|S| in both modes (inherent to virtualization).
 		got = crossMeasure(t, sched.DPBaseline, m, 1, tensor.Stash)
 		within(t, "baseline stash", got, StashVolumeIdeal(DPBaseline, p), 0.15)
+	}
+}
+
+// The 1F1B-aware PPBaseline corrected form: the simulator's measured
+// weight volume must sit within a few percent of Corrected (it was up
+// to ~10% off under the old per-microbatch merge count, which ignored
+// that warmup forwards run back-to-back without a bwd junction).
+func TestPPCorrectedMatchesSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	for _, tc := range []struct{ R, m, n int }{
+		{16, 4, 2}, {16, 4, 4}, {16, 8, 4}, {12, 4, 3}, {16, 2, 4},
+	} {
+		model := models.Uniform("xc", tc.R, 1000, 4096, 1e9)
+		g, err := graph.Build(graph.Config{Model: model, MicrobatchSize: 1, Microbatches: tc.m, Replicas: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := sched.DefaultOptions(sched.PPBaseline)
+		opts.DeferBlockedUpdates = false
+		s, err := sched.Build(g, opts, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		box := hw.Commodity1080TiBox(tc.n)
+		box.GPUMemBytes = 22 << 10
+		res, err := runtime.Run(runtime.Config{Box: box, Schedule: s, WarmupIters: 2, MeasureIters: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vol int64
+		for d := 0; d < tc.n; d++ {
+			vol += res.PerDev[d].KindSwapIn[tensor.Weight] + res.PerDev[d].KindSwapOut[tensor.Weight]
+		}
+		vol /= 4
+		p := FromModel(model, 1, tc.m, tc.n)
+		name := fmt.Sprintf("pp-baseline R=%d m=%d n=%d", tc.R, tc.m, tc.n)
+		within(t, name, vol, WeightVolumeCorrected(PPBaseline, p), 0.02)
 	}
 }
 

@@ -22,6 +22,9 @@
 //   - hygiene: lock-containing values copied by value (params,
 //     results, range copies, assignments) and goroutines launched with
 //     no shutdown path.
+//   - errcheck: error returns from the VM / memory-manager / DMA
+//     surface dropped inside internal/exec (bare-statement calls,
+//     blank assignments, go/defer drops).
 //
 // The framework below is a self-contained, offline re-implementation
 // of the golang.org/x/tools/go/analysis surface this module needs
@@ -95,7 +98,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full harmonylint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Lockhold, ClaimDiscipline, Determinism, Hygiene}
+	return []*Analyzer{Lockhold, ClaimDiscipline, Determinism, Hygiene, Errcheck}
 }
 
 // ---------------------------------------------------------- directives

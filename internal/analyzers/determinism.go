@@ -12,7 +12,8 @@ import (
 // fault-recovery tests replay mid-iteration and diff weights exactly).
 // Three constructs silently break that property and are therefore
 // banned from the deterministic core — internal/sched, internal/exec,
-// internal/nn and internal/fault:
+// internal/nn, internal/fault, internal/sim, internal/collective,
+// internal/graph and internal/schedcheck:
 //
 //   - wall-clock reads (time.Now, time.Since, time.Until): any value
 //     derived from them differs across runs. Timing belongs behind
@@ -32,7 +33,7 @@ import (
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock reads, math/rand global state and map iteration " +
-		"in the deterministic core (internal/sched, internal/exec, internal/nn, internal/fault)",
+		"in the deterministic core (internal/{sched,exec,nn,fault,sim,collective,graph,schedcheck})",
 	Run: runDeterminism,
 }
 
@@ -41,6 +42,10 @@ var Determinism = &Analyzer{
 // keeps the analyzer independent of the module name.
 var deterministicCore = []string{
 	"internal/sched", "internal/exec", "internal/nn", "internal/fault",
+	// The discrete-event engine, collective algorithms and task-graph
+	// builder feed every simulated result; the static verifier's
+	// counterexamples must reproduce bit-exactly to be debuggable.
+	"internal/sim", "internal/collective", "internal/graph", "internal/schedcheck",
 }
 
 func inDeterministicCore(path string) bool {

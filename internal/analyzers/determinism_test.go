@@ -19,7 +19,10 @@ func TestDeterminismScope(t *testing.T) {
 	}
 	for _, p := range []string{
 		"harmony/internal/sched", "harmony/internal/exec",
-		"harmony/internal/nn", "harmony/internal/fault", "exec", "sched",
+		"harmony/internal/nn", "harmony/internal/fault",
+		"harmony/internal/sim", "harmony/internal/collective",
+		"harmony/internal/graph", "harmony/internal/schedcheck",
+		"exec", "sched",
 	} {
 		if !inDeterministicCore(p) {
 			t.Errorf("%s should be in the deterministic core", p)

@@ -1,0 +1,25 @@
+package analyzers
+
+import "testing"
+
+// The fixture pins the flagged/allowed boundary: bare-statement calls,
+// blank assignments, go/defer drops are reported; handled errors,
+// non-error methods, unguarded types and //lint:allow'd drops are not.
+func TestErrcheckFixture(t *testing.T) {
+	diags := runFixture(t, "errcheck", Errcheck)
+	mustDiag(t, diags, "errcheck", "VM.Unpin returns an error that is dropped")
+	mustDiag(t, diags, "errcheck", "assigned to blank")
+}
+
+// The real executor must be errcheck-clean: the gate this analyzer
+// adds to make lint.
+func TestErrcheckScope(t *testing.T) {
+	if !inErrcheckScope("harmony/internal/exec") {
+		t.Fatal("internal/exec must be in errcheck scope")
+	}
+	for _, p := range []string{"harmony/internal/sched", "harmony/internal/nn", "execdata"} {
+		if inErrcheckScope(p) {
+			t.Errorf("%s should be outside errcheck scope", p)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"harmony/internal/data"
+	"harmony/internal/sched"
+)
+
+// checkpointStep runs one training step and returns its loss.
+func checkpointStep(t *testing.T, tr *Trainer, cfg TrainerConfig, blobs *data.Blobs, s int) float32 {
+	t.Helper()
+	in, lb := blobs.ReplicaBatches(tr.Replicas(), cfg.Microbatches, cfg.MicrobatchSize, uint64(s))
+	loss, err := tr.Step(in, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loss
+}
+
+// A checkpoint taken while fault injection is perturbing the run must
+// capture exactly the post-update weights: restoring it into a fresh,
+// fault-free trainer and continuing must reproduce the faulted
+// original's continuation bit-for-bit (transient faults are retried,
+// so they never change math — and neither must Save/Load).
+func TestCheckpointRoundTripUnderFaults(t *testing.T) {
+	spec := "op=swap-in,mode=transient,count=3;op=kernel,mode=transient,count=2"
+	cfg := faultyConfig(t, sched.HarmonyDP, spec, false)
+	blobs := data.NewBlobs(cfg.Widths[0], cfg.Widths[len(cfg.Widths)-1], 0.5, 7)
+
+	faulted, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		checkpointStep(t, faulted, cfg, blobs, s)
+	}
+	var snap bytes.Buffer
+	if err := faulted.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if inj, _ := cfg.Injector.Stats(); inj == 0 {
+		t.Fatal("fault spec injected nothing; the test is not exercising the faulted path")
+	}
+
+	clean := trainerConfig(sched.HarmonyDP, 2)
+	restored, err := NewTrainer(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Load(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.StepCount() != faulted.StepCount() {
+		t.Fatalf("restored step %d, want %d", restored.StepCount(), faulted.StepCount())
+	}
+	var contA, contB []float32
+	for s := 4; s < 8; s++ {
+		contA = append(contA, checkpointStep(t, faulted, cfg, blobs, s))
+		contB = append(contB, checkpointStep(t, restored, clean, blobs, s))
+	}
+	assertSameRun(t, faulted, restored, contA, contB)
+}
+
+// Corrupted snapshots must be rejected with an error — never applied
+// partially, never a panic. Each case flips or truncates a specific
+// region of a valid checkpoint.
+func TestCorruptedSnapshotRejected(t *testing.T) {
+	cfg := trainerConfig(sched.HarmonyDP, 1)
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := data.NewBlobs(cfg.Widths[0], cfg.Widths[len(cfg.Widths)-1], 0.5, 7)
+	checkpointStep(t, tr, cfg, blobs, 0)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	mutate := func(off int, v uint32) []byte {
+		c := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(c[off:], v)
+		return c
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring the error must contain
+	}{
+		{"bad magic", mutate(0, 0xdeadbeef), "not a harmony checkpoint"},
+		{"implausible step", mutate(8, 0xffffffff), "implausible"},
+		{"wrong layer count", mutate(12, 99), "layers"},
+		{"wrong param count", mutate(16, 7), "params"},
+		{"truncated mid-layer", valid[:len(valid)-6], ""},
+		{"empty", nil, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh, err := NewTrainer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = fresh.Load(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupted checkpoint accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// And the pristine bytes must still load: the corruption cases
+	// fail because of the corruption, not an over-strict loader.
+	fresh, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Load(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+}

@@ -17,7 +17,8 @@ import (
 // uint32 used to allocate gigabytes before validation).
 func FuzzLoad(f *testing.F) {
 	cfg := trainerConfig(sched.HarmonyPP, 2)
-	cfg.Optimizer = Adam // exercise the optimizer-state path too
+	cfg.Optimizer = Adam       // exercise the optimizer-state path too
+	cfg.DeviceBytes = 20 << 10 // Adam triples the update pin set (see TestAdamTraining)
 	tr, err := NewTrainer(cfg)
 	if err != nil {
 		f.Fatal(err)
@@ -63,6 +64,7 @@ func FuzzLoad(f *testing.F) {
 func TestLoadRejectsCorruptCounts(t *testing.T) {
 	cfg := trainerConfig(sched.HarmonyPP, 2)
 	cfg.Optimizer = Adam
+	cfg.DeviceBytes = 20 << 10
 	tr, err := NewTrainer(cfg)
 	if err != nil {
 		t.Fatal(err)

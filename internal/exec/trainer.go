@@ -11,6 +11,7 @@ import (
 	"harmony/internal/models"
 	"harmony/internal/nn"
 	"harmony/internal/sched"
+	"harmony/internal/schedcheck"
 	"harmony/internal/tensor"
 	"harmony/internal/trace"
 )
@@ -86,6 +87,13 @@ type TrainerConfig struct {
 	// MaxRetries bounds retries per faulted operation (0 means the
 	// default of 3; negative disables retries).
 	MaxRetries int
+	// NoVerify skips the schedcheck preflight gate. NewTrainer
+	// statically verifies the plan by default — happens-before
+	// liveness, pin-budget residency, analytic swap-volume agreement
+	// and the DMA claim-machine invariant — and refuses to construct a
+	// trainer for a plan that would deadlock or thrash. Opting out is
+	// for tests that deliberately build broken plans.
+	NoVerify bool
 	// Recover enables mid-iteration recovery: after a fatal device
 	// fault the trainer retires the device, re-binds its stream to a
 	// surviving device, rechecks pin budgets, rolls weights and
@@ -194,6 +202,14 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 	streams, parties, err := buildStreams(s)
 	if err != nil {
 		return nil, err
+	}
+	if !cfg.NoVerify {
+		if err := schedcheck.Check(s, schedcheck.Topology{
+			Devices:     cfg.Devices,
+			DeviceBytes: cfg.DeviceBytes,
+		}).Err(); err != nil {
+			return nil, fmt.Errorf("exec: plan rejected by preflight verification (-verify=false or NoVerify to skip):\n%w", err)
+		}
 	}
 	tr := &Trainer{
 		cfg:     cfg,

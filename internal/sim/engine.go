@@ -6,7 +6,10 @@
 //
 // The engine is deliberately free of wall-clock time and randomness so
 // that every run of the same configuration produces an identical event
-// trace; the property tests rely on this replay determinism.
+// trace; the property tests rely on this replay determinism. The
+// package is part of harmonylint's deterministic core (DESIGN.md §10):
+// the determinism analyzer rejects wall-clock reads, global rand state
+// and map iteration here mechanically, not just by convention.
 package sim
 
 import (

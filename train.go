@@ -72,6 +72,13 @@ type TrainerConfig struct {
 	// time). Useful for benchmarking how well prefetch hides swap
 	// latency.
 	LinkBytesPerSec int64
+	// NoVerify skips the static preflight verification of the
+	// execution plan (internal/schedcheck): happens-before liveness,
+	// peak-residency fit, swap-volume agreement with the analytic
+	// model and the DMA claim-machine invariant. Verification is on by
+	// default; a rejected plan fails NewTrainer with a counterexample
+	// trace.
+	NoVerify bool
 }
 
 // Trainer trains a real model through Harmony's runtime.
@@ -142,6 +149,7 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		Recover:         cfg.Recover,
 		PrefetchDepth:   cfg.PrefetchDepth,
 		LinkBytesPerSec: cfg.LinkBytesPerSec,
+		NoVerify:        cfg.NoVerify,
 	})
 	if err != nil {
 		return nil, err
@@ -304,6 +312,7 @@ func NewLeNetTrainer(cfg TrainerConfig) (*Trainer, error) {
 		Recover:         cfg.Recover,
 		PrefetchDepth:   cfg.PrefetchDepth,
 		LinkBytesPerSec: cfg.LinkBytesPerSec,
+		NoVerify:        cfg.NoVerify,
 	})
 	if err != nil {
 		return nil, err
