@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json bench-smoke bench-gate schedcheck fuzz check
+.PHONY: all build vet lint test race bench bench-contend bench-json bench-smoke bench-gate schedcheck fuzz check
 
 all: check
 
@@ -37,6 +37,13 @@ race:
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkTrainerStep' -benchmem .
 
+# Contention-scaling smoke (part of `make check`): the sharded Ensure
+# hot path under a Zipf working set and under one goroutine per device
+# at 1..64 devices. The full ns/op flatness guard lives in bench-gate;
+# this target just proves both benches run clean.
+bench-contend:
+	$(GO) test -run XXX -bench 'BenchmarkEnsureContended|BenchmarkVMEvictionZipf' -benchtime 10000x ./internal/exec/
+
 # Machine-readable swap-overlap report: sync vs prefetch per-step
 # times, swap volumes and DMA overlap fractions on the swap-bound
 # configs. Regenerates the checked-in BENCH_trainer.json.
@@ -49,11 +56,14 @@ bench-smoke:
 	$(GO) run ./cmd/benchtrainer -steps 1 -out /dev/null
 
 # Performance regression gate: regenerate the swap-overlap report and
-# fail if the swap-bound config's prefetch speedup dropped >20% against
-# the checked-in baseline. CI runs this on every push.
+# fail if (a) the swap-bound config's prefetch speedup dropped >20%
+# against the checked-in baseline, or (b) the sharded Ensure hot path
+# stopped scaling — ns/op growing >15% from 16 to 64 devices means a
+# cross-device lock is back on the claim path. CI runs this on every
+# push.
 bench-gate:
 	$(GO) run ./cmd/benchtrainer -steps 4 -out /tmp/BENCH_trainer.new.json
-	$(GO) run ./cmd/benchgate -old BENCH_trainer.json -new /tmp/BENCH_trainer.new.json -row dp1-hostlink -max-regress 0.20
+	$(GO) run ./cmd/benchgate -old BENCH_trainer.json -new /tmp/BENCH_trainer.new.json -row dp1-hostlink -max-regress 0.20 -max-scale-degrade 0.15
 
 # Static plan verification gate (part of `make check`): every clean
 # plan shape must PASS, and each seeded plan bug — rendezvous cycle,
@@ -76,4 +86,4 @@ schedcheck:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s -test.fuzzminimizetime 5s ./internal/exec/
 
-check: lint build test race fuzz bench-smoke schedcheck
+check: lint build test race fuzz bench-smoke bench-contend schedcheck

@@ -1,9 +1,18 @@
-// Command benchgate compares two benchtrainer reports and fails if a
-// named row's prefetch speedup regressed beyond a tolerance. It is the
-// CI guard for the swap-overlap win: BENCH_trainer.json is checked in
-// as the baseline, a fresh report is generated on each run, and a
-// >20% drop in speedup_vs_sync on the swap-bound config fails the
-// build before a prefetch regression can merge.
+// Command benchgate compares two benchtrainer reports and fails the
+// build if a perf invariant regressed beyond tolerance. It guards two
+// properties:
+//
+//   - the swap-overlap win: a >20% drop in speedup_vs_sync on the
+//     swap-bound row (dp1-hostlink) fails before a prefetch regression
+//     can merge;
+//   - contention scaling of the sharded hot path: the 64-device
+//     Ensure ns/op in the fresh report must stay within -max-scale-degrade
+//     of the 16-device point (flat curve = no cross-device lock), and
+//     within -max-contend-regress of the baseline's 64-device point.
+//
+// The scaling check compares two points from the same run on the same
+// machine, so its tolerance is tight (15%); the cross-report ns check
+// spans machines and is correspondingly loose (50% by default).
 //
 //	benchgate -old BENCH_trainer.json -new /tmp/bench.json -row dp1-hostlink -max-regress 0.20
 package main
@@ -20,17 +29,25 @@ type report struct {
 		Name    string  `json:"name"`
 		Speedup float64 `json:"speedup_vs_sync"`
 	} `json:"rows"`
+	Contention []struct {
+		Devices int   `json:"devices"`
+		NsPerOp int64 `json:"ns_per_op"`
+	} `json:"contention"`
 }
 
-func speedup(path, row string) (float64, error) {
+func load(path string) (*report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	var r report
 	if err := json.Unmarshal(data, &r); err != nil {
-		return 0, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	return &r, nil
+}
+
+func (r *report) speedup(path, row string) (float64, error) {
 	for _, rw := range r.Rows {
 		if rw.Name == row {
 			if rw.Speedup <= 0 {
@@ -42,35 +59,103 @@ func speedup(path, row string) (float64, error) {
 	return 0, fmt.Errorf("%s: no row named %q", path, row)
 }
 
+// contentionNs returns the ns/op at the given device count, or an
+// error if the report has no such point.
+func (r *report) contentionNs(path string, devs int) (int64, error) {
+	for _, c := range r.Contention {
+		if c.Devices == devs {
+			if c.NsPerOp <= 0 {
+				return 0, fmt.Errorf("%s: contention devs=%d has non-positive ns_per_op %d", path, devs, c.NsPerOp)
+			}
+			return c.NsPerOp, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no contention point for devs=%d", path, devs)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(2)
+}
+
 func main() {
 	var (
 		oldPath    = flag.String("old", "BENCH_trainer.json", "baseline report (checked in)")
 		newPath    = flag.String("new", "", "freshly generated report to gate")
 		row        = flag.String("row", "dp1-hostlink", "row to compare")
 		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed fractional speedup drop")
+		scaleFrom  = flag.Int("scale-from", 16, "contention scaling baseline device count")
+		scaleTo    = flag.Int("scale-to", 64, "contention scaling guarded device count")
+		maxScale   = flag.Float64("max-scale-degrade", 0.15, "maximum allowed ns/op growth from -scale-from to -scale-to devices")
+		maxContend = flag.Float64("max-contend-regress", 0.50, "maximum allowed cross-report ns/op growth at -scale-to devices")
 	)
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
 		os.Exit(2)
 	}
-	base, err := speedup(*oldPath, *row)
+	oldRep, err := load(*oldPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+		die(err)
 	}
-	cur, err := speedup(*newPath, *row)
+	newRep, err := load(*newPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+		die(err)
+	}
+
+	base, err := oldRep.speedup(*oldPath, *row)
+	if err != nil {
+		die(err)
+	}
+	cur, err := newRep.speedup(*newPath, *row)
+	if err != nil {
+		die(err)
 	}
 	drop := (base - cur) / base
 	fmt.Printf("benchgate: %s speedup_vs_sync baseline %.3f, current %.3f (drop %.1f%%, limit %.0f%%)\n",
 		*row, base, cur, 100*drop, 100**maxRegress)
 	if drop > *maxRegress {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL: %s regressed %.1f%% > %.0f%%\n",
-			*row, 100*drop, 100**maxRegress)
-		os.Exit(1)
+		fail("FAIL: %s regressed %.1f%% > %.0f%%", *row, 100*drop, 100**maxRegress)
 	}
+
+	// Scaling check: two points of the same run, so machine speed
+	// cancels out. The fresh report must have the curve; a missing
+	// point means the benchmark was dropped, which is itself a failure.
+	nsFrom, err := newRep.contentionNs(*newPath, *scaleFrom)
+	if err != nil {
+		die(err)
+	}
+	nsTo, err := newRep.contentionNs(*newPath, *scaleTo)
+	if err != nil {
+		die(err)
+	}
+	growth := float64(nsTo-nsFrom) / float64(nsFrom)
+	fmt.Printf("benchgate: contention %d->%d devices %d -> %d ns/op (growth %.1f%%, limit %.0f%%)\n",
+		*scaleFrom, *scaleTo, nsFrom, nsTo, 100*growth, 100**maxScale)
+	if growth > *maxScale {
+		fail("FAIL: Ensure hot path degrades %.1f%% from %d to %d devices (> %.0f%%); a cross-device lock is back on the claim path",
+			100*growth, *scaleFrom, *scaleTo, 100**maxScale)
+	}
+
+	// Cross-report absolute check at the guarded point. Baselines
+	// predating the contention curve are skipped with a note rather
+	// than failed, so the gate can bootstrap.
+	if baseNs, err := oldRep.contentionNs(*oldPath, *scaleTo); err != nil {
+		fmt.Printf("benchgate: note: baseline has no contention data (%v); skipping cross-report check\n", err)
+	} else {
+		rg := float64(nsTo-baseNs) / float64(baseNs)
+		fmt.Printf("benchgate: contention devs=%d baseline %d, current %d ns/op (growth %.1f%%, limit %.0f%%)\n",
+			*scaleTo, baseNs, nsTo, 100*rg, 100**maxContend)
+		if rg > *maxContend {
+			fail("FAIL: %d-device Ensure ns/op regressed %.1f%% > %.0f%% vs baseline",
+				*scaleTo, 100*rg, 100**maxContend)
+		}
+	}
+
 	fmt.Println("benchgate: PASS")
 }

@@ -7,6 +7,12 @@
 //
 //	benchtrainer -steps 4 -out BENCH_trainer.json
 //
+// The report also carries the executor's contention-scaling curve:
+// the Ensure/Unpin fast path driven by one goroutine per device at
+// 1/4/16/64 devices. With per-device metadata shards the curve is
+// flat; benchgate guards both the 64-device point and the 16→64
+// ratio so a reintroduced cross-device lock cannot merge.
+//
 // The checked-in BENCH_trainer.json is this command's output on the
 // development machine; `make bench-json` regenerates it.
 package main
@@ -16,9 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"harmony"
+	"harmony/internal/exec"
+	"harmony/internal/memory"
+	"harmony/internal/tensor"
 )
 
 // variant is one swap-bound workload shape; the prefetch-on/off pair
@@ -62,10 +72,79 @@ type row struct {
 }
 
 type report struct {
-	Steps   int   `json:"steps_per_run"`
-	Widths1 []int `json:"widths_dp1"`
-	Widths2 []int `json:"widths_pp2"`
-	Rows    []row `json:"rows"`
+	Steps      int             `json:"steps_per_run"`
+	Widths1    []int           `json:"widths_dp1"`
+	Widths2    []int           `json:"widths_pp2"`
+	Rows       []row           `json:"rows"`
+	Contention []contentionRow `json:"contention"`
+}
+
+// contentionRow is one point of the Ensure hot-path scaling curve.
+type contentionRow struct {
+	Devices int   `json:"devices"`
+	NsPerOp int64 `json:"ns_per_op"`
+}
+
+// contentionDevices mirrors BenchmarkEnsureContended.
+var contentionDevices = []int{1, 4, 16, 64}
+
+// measureContention drives the exec VM's pin fast path — one
+// goroutine per device, each over its own small pre-faulted working
+// set — and reports wall time per Ensure/Unpin pair. The working set
+// is fixed per device so cache footprint does not grow with device
+// count and the curve isolates lock/word contention.
+func measureContention(devs, ops int) (contentionRow, error) {
+	const (
+		pageBytes = 64
+		perDev    = 16
+	)
+	reg := tensor.NewRegistry()
+	vm := exec.NewVM(devs, perDev*pageBytes, memory.Policy{DirtyTracking: true})
+	sets := make([][]*tensor.Tensor, devs)
+	for d := 0; d < devs; d++ {
+		for i := 0; i < perDev; i++ {
+			t := reg.New(fmt.Sprintf("d%dt%d", d, i), tensor.Activation, pageBytes, i, d)
+			vm.HostAlloc(t)
+			sets[d] = append(sets[d], t)
+		}
+		for _, t := range sets[d] {
+			if _, err := vm.Ensure(d, t); err != nil {
+				return contentionRow{}, err
+			}
+			if err := vm.Unpin(t); err != nil {
+				return contentionRow{}, err
+			}
+		}
+	}
+	perG := ops/devs + 1
+	var wg sync.WaitGroup
+	errs := make(chan error, devs)
+	start := time.Now()
+	for d := 0; d < devs; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			set := sets[d]
+			for i := 0; i < perG; i++ {
+				t := set[i%perDev]
+				if _, err := vm.Ensure(d, t); err != nil {
+					errs <- err
+					return
+				}
+				if err := vm.Unpin(t); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return contentionRow{}, err
+	}
+	return contentionRow{Devices: devs, NsPerOp: wall.Nanoseconds() / int64(perG*devs)}, nil
 }
 
 func config(v variant, depth int) harmony.TrainerConfig {
@@ -127,6 +206,7 @@ func measure(v variant, depth, steps int) (run, error) {
 func main() {
 	steps := flag.Int("steps", 4, "timed training steps per run (one extra warm-up step is untimed)")
 	depth := flag.Int("prefetch-depth", 4, "prefetch lookahead for the async runs")
+	contendOps := flag.Int("contend-ops", 200000, "total Ensure/Unpin pairs per contention point")
 	out := flag.String("out", "BENCH_trainer.json", "output path ('-' for stdout)")
 	flag.Parse()
 
@@ -152,6 +232,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-16s sync %6.1fms/step  prefetch %6.1fms/step  speedup %.2fx  overlap %2.0f%%\n",
 			v.Name, float64(sync.NsPerStep)/1e6, float64(pf.NsPerStep)/1e6,
 			r.SpeedupVsSync, 100*pf.OverlapFrac)
+	}
+
+	for _, devs := range contentionDevices {
+		cr, err := measureContention(devs, *contendOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrainer: contention/devs=%d: %v\n", devs, err)
+			os.Exit(1)
+		}
+		rep.Contention = append(rep.Contention, cr)
+		fmt.Fprintf(os.Stderr, "contention devs=%-3d %5d ns/op\n", devs, cr.NsPerOp)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

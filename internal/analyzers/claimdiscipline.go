@@ -8,42 +8,67 @@ import (
 )
 
 // ClaimDiscipline enforces the DMA buffer state machine of DESIGN.md
-// §9. A buffer's claim fields (state, done, async, committed) encode
-// an in-flight transfer that waiters and the eviction scan reason
-// about; mutating them ad hoc desynchronizes the three. Two rules:
+// §9/§12. A buffer's claim state lives in a single packed atomic word
+// (internal/claimword) plus the done-channel pointer; waiters, the
+// eviction scan and the prefetch engine all reason about them
+// lock-free, so ad-hoc mutation desynchronizes the machine. Three
+// rules:
 //
-//  1. Only the transition helpers — methods named claim, commit and
-//     settle — may assign a buffer's state, done, async or committed
-//     fields. Everything else must call the helpers, which validate
-//     the transition (claim panics on double claim, commit on an
-//     unclaimed buffer) and wake waiters consistently.
+//  1. Only the state-machine helpers — methods named claim, commit,
+//     settle, pin, unpin and consumePrefetch — may mutate a buffer's
+//     word or done fields. Everything else calls the helpers, which
+//     validate the transition against the pure claimword functions and
+//     wake waiters consistently.
 //
-//  2. "Every resident claim is committed": in a function that takes a
-//     synchronous claim (claim(b, ..., false)), an assignment that
-//     makes the buffer resident (b.dev = <non-nil>) must be followed
-//     by commit(b) or settle(b) before any mutex Unlock (or the end
-//     of the function). Otherwise another device's reserve could
-//     observe a resident buffer whose claim it must not wait on — the
-//     deadlock class moveP2P's reserve-before-claim ordering exists
-//     to prevent.
+//  2. Inside the helpers, the packed word advances only by
+//     CompareAndSwap against an observed value — a raw Store (or Swap
+//     or Add) would clobber pins taken concurrently by another
+//     device's Ensure. The done pointer may be Stored only by the
+//     claim winner (it just won the word CAS, so it owns the slot) and
+//     otherwise cleared by CompareAndSwap in settle.
+//
+//  3. "Every resident claim is waitable": under a synchronous
+//     uncommitted claim (claim(b, st, false, false, need)), the buffer
+//     must be committed (or settled) before lruPush publishes it to a
+//     shard's LRU list. The eviction scan discovers buffers through
+//     that list; one carrying a sync uncommitted claim is exactly the
+//     state reserve must not wait on — the deadlock class moveP2P's
+//     reserve-before-claim ordering exists to prevent.
 var ClaimDiscipline = &Analyzer{
 	Name: "claimdiscipline",
-	Doc: "report writes to a DMA buffer's claim fields outside the " +
-		"claim/commit/settle transition helpers, and buffers made resident " +
-		"under a synchronous claim without commit/settle before the lock is released",
+	Doc: "report mutations of a DMA buffer's packed claim word or done " +
+		"pointer outside the state-machine helpers, non-CAS word transitions " +
+		"inside them, and buffers published to the LRU under an uncommitted " +
+		"synchronous claim",
 	Run: runClaimDiscipline,
 }
 
-// claimFields are the buffer fields owned by the state machine.
-var claimFields = map[string]bool{"state": true, "done": true, "async": true, "committed": true}
+// claimAtomics are the buffer fields owned by the state machine,
+// mapped to the atomic mutator methods the helpers may use on them.
+// Load is a read and allowed everywhere.
+var claimAtomics = map[string]map[string]bool{
+	"word": {"CompareAndSwap": true},
+	"done": {"CompareAndSwap": true, "Store": true},
+}
 
-// transitionHelpers may write claimFields.
-var transitionHelpers = map[string]bool{"claim": true, "commit": true, "settle": true}
+// wordMutators are the atomic methods that change state; calling any
+// of them on word/done outside a helper breaks rule 1, and calling one
+// not in claimAtomics inside a helper breaks rule 2.
+var wordMutators = map[string]bool{
+	"Store": true, "Swap": true, "Add": true, "And": true, "Or": true,
+	"CompareAndSwap": true,
+}
+
+// transitionHelpers may mutate the claim atomics (rule 1).
+var transitionHelpers = map[string]bool{
+	"claim": true, "commit": true, "settle": true,
+	"pin": true, "unpin": true, "consumePrefetch": true,
+}
 
 func runClaimDiscipline(pass *Pass) error {
 	forEachFunc(pass.Files, func(fd *ast.FuncDecl) {
-		checkClaimFieldWrites(pass, fd)
-		checkResidentCommit(pass, fd)
+		checkClaimWordWrites(pass, fd)
+		checkPublishCommit(pass, fd)
 	})
 	return nil
 }
@@ -67,11 +92,14 @@ func isBufferType(t types.Type) bool {
 	return isStruct
 }
 
-// bufferFieldWrite matches an lvalue of the form b.<field> where b is
-// a buffer and field is part of the claim state machine.
-func bufferFieldWrite(pass *Pass, lhs ast.Expr) (field string, ok bool) {
-	sel, isSel := lhs.(*ast.SelectorExpr)
-	if !isSel || !claimFields[sel.Sel.Name] {
+// claimAtomicField matches an expression of the form b.word or b.done
+// where b is a buffer.
+func claimAtomicField(pass *Pass, e ast.Expr) (field string, ok bool) {
+	sel, isSel := e.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	if _, tracked := claimAtomics[sel.Sel.Name]; !tracked {
 		return "", false
 	}
 	if !isBufferType(pass.Info.TypeOf(sel.X)) {
@@ -80,24 +108,35 @@ func bufferFieldWrite(pass *Pass, lhs ast.Expr) (field string, ok bool) {
 	return sel.Sel.Name, true
 }
 
-// checkClaimFieldWrites implements rule 1.
-func checkClaimFieldWrites(pass *Pass, fd *ast.FuncDecl) {
-	if transitionHelpers[fd.Name.Name] && fd.Recv != nil {
-		return
-	}
+// checkClaimWordWrites implements rules 1 and 2.
+func checkClaimWordWrites(pass *Pass, fd *ast.FuncDecl) {
+	inHelper := transitionHelpers[fd.Name.Name] && fd.Recv != nil
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for _, l := range n.Lhs {
-				if f, ok := bufferFieldWrite(pass, l); ok {
-					pass.Reportf(l.Pos(),
-						"direct write to buffer.%s outside the claim/commit/settle transition helpers", f)
-				}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !wordMutators[sel.Sel.Name] {
+				return true
 			}
-		case *ast.IncDecStmt:
-			if f, ok := bufferFieldWrite(pass, n.X); ok {
+			f, ok := claimAtomicField(pass, sel.X)
+			if !ok {
+				return true
+			}
+			if !inHelper {
 				pass.Reportf(n.Pos(),
-					"direct write to buffer.%s outside the claim/commit/settle transition helpers", f)
+					"mutation of buffer.%s outside the claim state-machine helpers (claim/commit/settle/pin/unpin/consumePrefetch)", f)
+			} else if !claimAtomics[f][sel.Sel.Name] {
+				pass.Reportf(n.Pos(),
+					"non-CAS mutation of buffer.%s (%s) inside a transition helper; packed-word transitions must CompareAndSwap an observed value", f, sel.Sel.Name)
+			}
+		case *ast.AssignStmt:
+			// Reassigning the atomic value itself (b.word = ...) bypasses
+			// the atomic API entirely; never legal, helpers included.
+			for _, l := range n.Lhs {
+				if f, ok := claimAtomicField(pass, l); ok {
+					pass.Reportf(l.Pos(),
+						"direct assignment to buffer.%s bypasses its atomic API; use the claim state-machine helpers", f)
+				}
 			}
 		}
 		return true
@@ -107,15 +146,15 @@ func checkClaimFieldWrites(pass *Pass, fd *ast.FuncDecl) {
 // claimEvent is one state-machine-relevant statement, in source order.
 type claimEvent struct {
 	pos  token.Pos
-	kind string       // "claim", "resident", "resolve", "unlock"
-	obj  types.Object // the buffer variable, for claim/resident/resolve
+	kind string       // "claim", "publish", "resolve"
+	obj  types.Object // the buffer variable
 }
 
-// checkResidentCommit implements rule 2 with a source-order scan: the
-// straight-line style of the VM (claim → reserve → install residency →
-// commit/settle → unlock) makes lexical order a faithful proxy for
-// execution order, and the fixtures pin that interpretation.
-func checkResidentCommit(pass *Pass, fd *ast.FuncDecl) {
+// checkPublishCommit implements rule 3 with a source-order scan: the
+// straight-line style of the VM (claim → reserve → install fields →
+// commit → lruPush) makes lexical order a faithful proxy for execution
+// order, and the fixtures pin that interpretation.
+func checkPublishCommit(pass *Pass, fd *ast.FuncDecl) {
 	var events []claimEvent
 	rootObj := func(e ast.Expr) types.Object {
 		id, ok := e.(*ast.Ident)
@@ -127,39 +166,40 @@ func checkResidentCommit(pass *Pass, fd *ast.FuncDecl) {
 		}
 		return pass.Info.Defs[id]
 	}
+	isFalse := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "false"
+	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				switch sel.Sel.Name {
-				case "claim":
-					if len(n.Args) == 3 && isBufferType(pass.Info.TypeOf(n.Args[0])) {
-						if id, ok := n.Args[2].(*ast.Ident); ok && id.Name == "false" {
-							events = append(events, claimEvent{n.Pos(), "claim", rootObj(n.Args[0])})
-						}
-					}
-				case "commit", "settle":
-					if len(n.Args) == 1 && isBufferType(pass.Info.TypeOf(n.Args[0])) {
-						events = append(events, claimEvent{n.Pos(), "resolve", rootObj(n.Args[0])})
-					}
-				case "Unlock", "RUnlock":
-					if t := pass.Info.TypeOf(sel.X); t != nil && isMutex(t) {
-						events = append(events, claimEvent{n.Pos(), "unlock", nil})
-					}
-				}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "claim":
+			// claim(b, st, async, committed, need): only synchronous
+			// uncommitted claims are tracked — async claims are
+			// committed by the DMA worker, and committed-at-claim ones
+			// are waitable from their first visible word.
+			if len(call.Args) == 5 && isBufferType(pass.Info.TypeOf(call.Args[0])) &&
+				isFalse(call.Args[2]) && isFalse(call.Args[3]) {
+				events = append(events, claimEvent{call.Pos(), "claim", rootObj(call.Args[0])})
 			}
-		case *ast.AssignStmt:
-			for i, l := range n.Lhs {
-				sel, ok := l.(*ast.SelectorExpr)
-				if !ok || sel.Sel.Name != "dev" || !isBufferType(pass.Info.TypeOf(sel.X)) {
-					continue
-				}
-				if i < len(n.Rhs) {
-					if id, ok := n.Rhs[i].(*ast.Ident); ok && id.Name == "nil" {
-						continue // releasing residency, not establishing it
-					}
-				}
-				events = append(events, claimEvent{l.Pos(), "resident", rootObj(sel.X)})
+		case "commit":
+			if len(call.Args) == 1 && isBufferType(pass.Info.TypeOf(call.Args[0])) {
+				events = append(events, claimEvent{call.Pos(), "resolve", rootObj(call.Args[0])})
+			}
+		case "settle":
+			if len(call.Args) == 3 && isBufferType(pass.Info.TypeOf(call.Args[0])) {
+				events = append(events, claimEvent{call.Pos(), "resolve", rootObj(call.Args[0])})
+			}
+		case "lruPush":
+			if len(call.Args) == 2 && isBufferType(pass.Info.TypeOf(call.Args[1])) {
+				events = append(events, claimEvent{call.Pos(), "publish", rootObj(call.Args[1])})
 			}
 		}
 		return true
@@ -167,29 +207,19 @@ func checkResidentCommit(pass *Pass, fd *ast.FuncDecl) {
 	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 
 	claimed := map[types.Object]bool{}
-	for i, ev := range events {
+	for _, ev := range events {
+		if ev.obj == nil {
+			continue
+		}
 		switch ev.kind {
 		case "claim":
-			if ev.obj != nil {
-				claimed[ev.obj] = true
-			}
-		case "resident":
-			if ev.obj == nil || !claimed[ev.obj] {
-				continue
-			}
-			resolved := false
-			for _, later := range events[i+1:] {
-				if later.kind == "resolve" && later.obj == ev.obj {
-					resolved = true
-					break
-				}
-				if later.kind == "unlock" {
-					break
-				}
-			}
-			if !resolved {
+			claimed[ev.obj] = true
+		case "resolve":
+			claimed[ev.obj] = false
+		case "publish":
+			if claimed[ev.obj] {
 				pass.Reportf(ev.pos,
-					"buffer made resident under a synchronous claim without commit/settle before the lock is released (every resident claim must complete autonomously)")
+					"buffer published to the LRU under an uncommitted synchronous claim; commit or settle before lruPush (every resident claim must complete autonomously)")
 			}
 		}
 	}

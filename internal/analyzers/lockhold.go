@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"strings"
 )
 
 // Lockhold enforces the executor's locking discipline (DESIGN.md §7,
@@ -23,21 +24,39 @@ import (
 // Unexported helpers that run under the caller's lock declare it in
 // their doc comment, and the analyzer honors those contracts: a doc
 // matching "Requires mu held" or "mu held on entry" starts the
-// receiver's mu in the held state, and returning with it held is then
-// expected unless the doc also says "released on return" (swapIn,
-// moveP2P), in which case every return path must have released it.
+// receiver's mu in the held state; "Requires <param>.mu held" does the
+// same for a parameter with a mu field (the sharded VM's per-device
+// helpers take their vmShard explicitly). Returning with the lock held
+// is then expected unless the doc also says "released on return", in
+// which case every return path must have released it.
+//
+// Shard lock order: mutexes hanging off a type whose name ends in
+// "Shard" (vmShard, devShard) follow the fixed-acquisition-order
+// discipline of DESIGN.md §12 — no path may take a second shard lock
+// while holding one, unless its doc comment declares the ascending
+// device/shard order contract ("in ascending device order").
 var Lockhold = &Analyzer{
 	Name: "lockhold",
-	Doc: "report blocking operations while a mutex is held and return paths " +
-		"that leak a held lock; doc contracts like \"Requires mu held\" set " +
-		"the expected entry/exit state",
+	Doc: "report blocking operations while a mutex is held, return paths " +
+		"that leak a held lock, and nested shard locks without a declared " +
+		"ascending-order contract; doc contracts like \"Requires mu held\" " +
+		"set the expected entry/exit state",
 	Run: runLockhold,
 }
 
 var (
-	entryHeldRe  = regexp.MustCompile(`(?i)\brequires\s+mu\s+held|\bmu\s+held\s+on\s+entry`)
-	releasedRe   = regexp.MustCompile(`(?i)\breleased\s+on\s+return`)
-	blockingFunc = map[string]bool{"WaitIdle": true}
+	entryHeldRe = regexp.MustCompile(`(?i)\brequires\s+mu\s+held|\bmu\s+held\s+on\s+entry`)
+	paramHeldRe = regexp.MustCompile(`(?i)\brequires\s+(\w+)\.mu\s+held`)
+	releasedRe  = regexp.MustCompile(`(?i)\breleased\s+on\s+return`)
+	// shardOrderRe is the doc-comment declaration that licenses holding
+	// two shard locks at once, in ascending device-index order.
+	shardOrderRe = regexp.MustCompile(`(?i)ascending\s+(device|shard)`)
+	// blockingFunc names in-module functions that park the caller,
+	// mapped to the label shown in the report.
+	blockingFunc = map[string]string{
+		"WaitIdle":   "drains async DMA",
+		"waitSettle": "blocks on claim settle",
+	}
 )
 
 // lockSt is one mutex's abstract state at a program point.
@@ -75,17 +94,35 @@ func runLockhold(pass *Pass) error {
 		}
 	})
 	forEachFunc(pass.Files, func(fd *ast.FuncDecl) {
-		w := &lockWalker{pass: pass, releasers: releasers, state: map[lockKey]lockSt{}, exitOK: map[lockKey]bool{}}
-		// Doc-comment contract: helpers documented to run under the
-		// caller's lock start with the receiver's mu held.
-		if fd.Doc != nil && fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		w := &lockWalker{pass: pass, releasers: releasers, state: map[lockKey]lockSt{},
+			exitOK: map[lockKey]bool{}, shardHeld: map[lockKey]bool{}}
+		if fd.Doc != nil {
 			doc := fd.Doc.Text()
-			if entryHeldRe.MatchString(doc) {
+			w.shardNestOK = shardOrderRe.MatchString(doc)
+			// Receiver contract: helpers documented to run under the
+			// caller's lock start with the receiver's mu held.
+			if entryHeldRe.MatchString(doc) && fd.Recv != nil &&
+				len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
 				recv := pass.Info.Defs[fd.Recv.List[0].Names[0]]
 				if recv != nil && hasMutexField(recv.Type(), "mu") {
 					k := lockKey{root: recv, path: "mu"}
 					w.state[k] = lsLocked
 					w.exitOK[k] = !releasedRe.MatchString(doc)
+				}
+			}
+			// Parameter contract: "Requires sh.mu held" binds to the
+			// parameter of that name (the sharded helpers pass their
+			// vmShard/devShard explicitly).
+			for _, m := range paramHeldRe.FindAllStringSubmatch(doc, -1) {
+				obj := paramNamed(pass, fd, m[1])
+				if obj == nil || !hasMutexField(obj.Type(), "mu") {
+					continue
+				}
+				k := lockKey{root: obj, path: "mu"}
+				w.state[k] = lsLocked
+				w.exitOK[k] = !releasedRe.MatchString(doc)
+				if isShardOwner(obj.Type()) {
+					w.shardHeld[k] = true
 				}
 			}
 		}
@@ -94,6 +131,35 @@ func runLockhold(pass *Pass) error {
 		}
 	})
 	return nil
+}
+
+// paramNamed resolves a function parameter by name.
+func paramNamed(pass *Pass, fd *ast.FuncDecl, name string) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, f := range fd.Type.Params.List {
+		for _, id := range f.Names {
+			if id.Name == name {
+				return pass.Info.Defs[id]
+			}
+		}
+	}
+	return nil
+}
+
+// isShardOwner reports whether t (after pointers) is a named type
+// participating in the shard lock-order discipline — its name ends in
+// "Shard" (vmShard, devShard).
+func isShardOwner(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && strings.HasSuffix(n.Obj().Name(), "Shard")
 }
 
 // hasMutexField reports whether t (after pointers) is a struct with a
@@ -116,10 +182,12 @@ func hasMutexField(t types.Type, name string) bool {
 }
 
 type lockWalker struct {
-	pass      *Pass
-	releasers map[types.Object]bool // methods whose contract releases the receiver's mu
-	state     map[lockKey]lockSt
-	exitOK    map[lockKey]bool // contract allows returning with this mutex held
+	pass        *Pass
+	releasers   map[types.Object]bool // methods whose contract releases the receiver's mu
+	state       map[lockKey]lockSt
+	exitOK      map[lockKey]bool // contract allows returning with this mutex held
+	shardHeld   map[lockKey]bool // keys known to be shard locks (per-device mutexes)
+	shardNestOK bool             // doc declares the ascending shard-order contract
 }
 
 // keyOf resolves a mutex receiver expression (vm.mu, m.mu, mu) to a
@@ -222,6 +290,10 @@ func (w *lockWalker) handleExpr(e ast.Expr) {
 		case *ast.CallExpr:
 			if k, op, ok := w.classify(n); ok {
 				if op == "lock" {
+					if w.isShardLock(n) {
+						w.checkShardNesting(n.Pos(), k)
+						w.shardHeld[k] = true
+					}
 					w.state[k] = lsLocked
 				} else {
 					w.state[k] = lsUnlocked
@@ -237,13 +309,51 @@ func (w *lockWalker) handleExpr(e ast.Expr) {
 			if pkgFunc(w.pass.Info, n, "time", "Sleep") {
 				w.reportBlocking(n.Pos(), "time.Sleep")
 			}
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && blockingFunc[sel.Sel.Name] {
-				w.reportBlocking(n.Pos(), sel.Sel.Name+" (drains async DMA)")
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if desc, blocks := blockingFunc[sel.Sel.Name]; blocks {
+					w.reportBlocking(n.Pos(), sel.Sel.Name+" ("+desc+")")
+				}
 			}
 			w.applyContract(n)
 		}
 		return true
 	})
+}
+
+// isShardLock reports whether a Lock call's mutex hangs off a
+// shard-discipline type (x.mu.Lock() with x a *vmShard/*devShard).
+func (w *lockWalker) isShardLock(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isShardOwner(w.pass.Info.TypeOf(muSel.X))
+}
+
+// checkShardNesting reports taking a second shard lock while one is
+// held, unless the function's doc declares the ascending-order
+// contract. Per-device shards must never deadlock against each other,
+// so nesting is banned by default (DESIGN.md §12: visit shards one at
+// a time, in ascending device order).
+func (w *lockWalker) checkShardNesting(pos token.Pos, k lockKey) {
+	if w.shardNestOK {
+		return
+	}
+	for k2, isShard := range w.shardHeld {
+		if !isShard || k2 == k {
+			continue
+		}
+		if st := w.state[k2]; st == lsLocked || st == lsDeferred {
+			w.pass.Reportf(pos,
+				"second shard lock %s.mu acquired while %s.mu is held; acquire shards one at a time or declare the ascending device order contract in the doc comment",
+				k.root.Name(), k2.root.Name())
+			return
+		}
+	}
 }
 
 // applyContract transitions the receiver's mu to unlocked when the

@@ -8,4 +8,8 @@ func TestLockhold(t *testing.T) {
 	// must be present, not just matched by some want.
 	mustDiag(t, diags, "lockhold", `channel receive while mu is held`)
 	mustDiag(t, diags, "lockhold", `return path leaks held lock mu`)
+	// Sharded-VM rules: nested shard locks without the ascending-order
+	// contract, and the claim-settle wait on the blocking list.
+	mustDiag(t, diags, "lockhold", `second shard lock \w+\.mu acquired while \w+\.mu is held`)
+	mustDiag(t, diags, "lockhold", `waitSettle \(blocks on claim settle\) while mu is held`)
 }

@@ -1,115 +1,209 @@
 // Package claimdisc is the fixture for the claimdiscipline analyzer:
-// the DMA buffer state machine may only be advanced through the
-// claim/commit/settle helpers, and a buffer made resident under a
-// synchronous claim must be committed or settled before the lock is
-// released.
+// the DMA buffer's packed claim word and done pointer may only be
+// mutated through the state-machine helpers, helpers may only advance
+// the word by CompareAndSwap, and a buffer under a synchronous
+// uncommitted claim must be committed or settled before lruPush
+// publishes it to a shard's LRU.
 package claimdisc
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type page struct{ data []byte }
 
-// buffer mirrors the executor's DMA buffer: the four claim fields plus
-// residency.
+// buffer mirrors the executor's DMA buffer: the packed claim word and
+// the done-channel pointer are the state-machine fields; dev/host are
+// claim-holder-owned payload.
 type buffer struct {
-	state     int
-	done      chan struct{}
-	async     bool
-	committed bool
-	dev       *page
-	host      *page
+	word atomic.Uint64
+	done atomic.Pointer[chan struct{}]
+	dev  *page
+	host *page
+	hits atomic.Uint64
+}
+
+type shard struct {
+	mu  sync.Mutex
+	lru *buffer
 }
 
 type vm struct {
-	mu sync.Mutex
+	shards []*shard
 }
 
-// claim, commit and settle are the transition helpers; writes to the
-// claim fields inside them are the point.
-func (v *vm) claim(b *buffer, st int, async bool) {
-	b.state = st
-	b.done = make(chan struct{})
-	b.async = async
-	b.committed = false
+// claim wins the word by CAS and then owns the done slot; both writes
+// are the point of the helper.
+func (v *vm) claim(b *buffer, st uint64, async, committed bool, need int) bool {
+	for {
+		w := b.word.Load()
+		if w&3 != 0 {
+			return false
+		}
+		n := w | st
+		if committed {
+			n |= 8
+		}
+		if b.word.CompareAndSwap(w, n) {
+			ch := make(chan struct{})
+			b.done.Store(&ch)
+			return true
+		}
+	}
 }
 
+// commit publishes residency with a CAS loop.
 func (v *vm) commit(b *buffer) {
-	b.committed = true
+	for {
+		w := b.word.Load()
+		if b.word.CompareAndSwap(w, w|8|16) {
+			return
+		}
+	}
 }
 
-func (v *vm) settle(b *buffer) {
-	b.state = 0
-	close(b.done)
-	b.done = nil
-	b.async = false
-	b.committed = false
+// settle clears the claim and hands the done channel to waiters.
+func (v *vm) settle(b *buffer, resident bool, pinDelta int) {
+	p := b.done.Load()
+	for {
+		w := b.word.Load()
+		if b.word.CompareAndSwap(w, w&^uint64(3)) {
+			break
+		}
+	}
+	if b.done.CompareAndSwap(p, nil) {
+		close(*p)
+	}
 }
 
-// rawCommit is the regression that motivated rule 1: flipping
-// committed directly skips the helper's unclaimed-buffer panic.
-func (v *vm) rawCommit(b *buffer) {
-	b.committed = true // want "direct write to buffer.committed outside the claim/commit/settle transition helpers"
+// pin is a single-shot CAS against the caller's observed word.
+func (v *vm) pin(b *buffer, w uint64) bool {
+	return b.word.CompareAndSwap(w, w+256)
 }
 
-func (v *vm) rawState(b *buffer) {
-	b.state = 2      // want "direct write to buffer.state outside the claim/commit/settle transition helpers"
-	b.done = nil     // want "direct write to buffer.done outside the claim/commit/settle transition helpers"
-	b.async = true   // want "direct write to buffer.async outside the claim/commit/settle transition helpers"
-	b.host = &page{} // residency fields are not state-machine fields
-	b.dev = nil      // neither is dev
+func (v *vm) unpin(b *buffer) bool {
+	for {
+		w := b.word.Load()
+		if w&0xff00 == 0 {
+			return false
+		}
+		if b.word.CompareAndSwap(w, w-256) {
+			return true
+		}
+	}
 }
 
-// swapInGood is the canonical correct shape: synchronous claim, make
-// resident, commit, unlock.
-func (v *vm) swapInGood(b *buffer) {
-	v.mu.Lock()
-	v.claim(b, 1, false)
+func (v *vm) consumePrefetch(b *buffer) bool {
+	for {
+		w := b.word.Load()
+		if w&32 == 0 {
+			return false
+		}
+		if b.word.CompareAndSwap(w, w&^uint64(32)) {
+			return true
+		}
+	}
+}
+
+// vm2 carries deliberately broken helpers: rule 2 — even inside a
+// method named commit/settle, the word may only advance by
+// CompareAndSwap. A raw Store or Swap clobbers pins taken concurrently
+// by another device's Ensure.
+type vm2 struct{}
+
+func (v *vm2) commit(b *buffer) {
+	b.word.Store(b.word.Load() | 8) // want "non-CAS mutation of buffer.word \\(Store\\) inside a transition helper"
+}
+
+func (v *vm2) settle(b *buffer, resident bool, pinDelta int) {
+	b.word.Swap(0)   // want "non-CAS mutation of buffer.word \\(Swap\\) inside a transition helper"
+	b.done.Swap(nil) // want "non-CAS mutation of buffer.done \\(Swap\\) inside a transition helper"
+}
+
+// evictFast mutates the machine ad hoc — rule 1 on both fields.
+func (v *vm) evictFast(b *buffer) {
+	b.word.Store(0)                  // want "mutation of buffer.word outside the claim state-machine helpers"
+	b.done.Store(nil)                // want "mutation of buffer.done outside the claim state-machine helpers"
+	b.word.Add(256)                  // want "mutation of buffer.word outside the claim state-machine helpers"
+	if b.word.CompareAndSwap(0, 1) { // want "mutation of buffer.word outside the claim state-machine helpers"
+		return
+	}
+}
+
+// replaceWord reassigns the atomic value wholesale — never legal.
+func (v *vm) replaceWord(b *buffer) {
+	b.word = atomic.Uint64{} // want "direct assignment to buffer.word bypasses its atomic API"
+}
+
+// reads and non-claim atomics are fine anywhere.
+func (v *vm) scan(b *buffer) bool {
+	b.hits.Add(1)
+	if p := b.done.Load(); p != nil {
+		<-*p
+	}
+	return b.word.Load() != 0
+}
+
+// lruPush publishes a buffer where the eviction scan will find it.
+func (v *vm) lruPush(sh *shard, b *buffer) {
+	sh.lru = b
+}
+
+// swapInGood is the canonical correct shape: synchronous claim,
+// install payload, commit, then publish.
+func (v *vm) swapInGood(sh *shard, b *buffer) {
+	if !v.claim(b, 1, false, false, 0) {
+		return
+	}
 	b.dev = &page{}
 	v.commit(b)
-	v.mu.Unlock()
+	v.lruPush(sh, b)
 }
 
-// swapInSettled resolves the claim with settle instead; equally fine.
-func (v *vm) swapInSettled(b *buffer) {
-	v.mu.Lock()
-	v.claim(b, 1, false)
-	b.dev = &page{}
-	v.settle(b)
-	v.mu.Unlock()
+// swapInSettled resolves the claim with settle before a later push;
+// equally fine.
+func (v *vm) swapInSettled(sh *shard, b *buffer) {
+	if !v.claim(b, 1, false, false, 0) {
+		return
+	}
+	v.settle(b, true, 0)
+	v.lruPush(sh, b)
 }
 
-// swapInLeaky releases the lock with a resident, uncommitted claim —
-// another device's reserve can now see a resident buffer whose claim
+// swapInLeaky publishes with the sync claim still uncommitted —
+// another device's reserve can now find a resident buffer whose claim
 // it must not wait on.
-func (v *vm) swapInLeaky(b *buffer) {
-	v.mu.Lock()
-	v.claim(b, 1, false)
-	b.dev = &page{} // want "buffer made resident under a synchronous claim without commit/settle before the lock is released"
-	v.mu.Unlock()
+func (v *vm) swapInLeaky(sh *shard, b *buffer) {
+	if !v.claim(b, 1, false, false, 0) {
+		return
+	}
+	b.dev = &page{}
+	v.lruPush(sh, b) // want "buffer published to the LRU under an uncommitted synchronous claim"
 	v.commit(b)
 }
 
-// asyncClaim is exempt from rule 2: async claims are committed later
-// by the DMA worker's completion path.
-func (v *vm) asyncClaim(b *buffer) {
-	v.mu.Lock()
-	v.claim(b, 1, true)
-	b.dev = &page{}
-	v.mu.Unlock()
+// asyncClaim is exempt from rule 3: async claims are committed by the
+// DMA worker's completion path and are waitable from the start.
+func (v *vm) asyncClaim(sh *shard, b *buffer) {
+	if !v.claim(b, 1, true, false, 0) {
+		return
+	}
+	v.lruPush(sh, b)
 }
 
-// evict drops residency; assigning nil is not "making resident".
-func (v *vm) evict(b *buffer) {
-	v.mu.Lock()
-	v.claim(b, 1, false)
-	b.dev = nil
-	v.settle(b)
-	v.mu.Unlock()
+// committedAtClaim is exempt too: the claim CAS itself set committed,
+// so no observer ever sees an unwaitable resident claim.
+func (v *vm) committedAtClaim(sh *shard, b *buffer) {
+	if !v.claim(b, 2, false, true, 0) {
+		return
+	}
+	v.lruPush(sh, b)
 }
 
 // allowedRaw shows the escape hatch for genuinely special cases, with
 // the mandatory reason.
 func (v *vm) allowedRaw(b *buffer) {
 	//lint:allow claimdiscipline test-only reset between iterations
-	b.committed = false
+	b.word.Store(0)
 }

@@ -165,6 +165,106 @@ func (v *vmish) allowedRecv() int {
 
 func (v *vmish) touch() {}
 
+// vmShard mirrors the executor's per-device shard: a mutex plus
+// payload. The "Shard" name suffix opts its mu into the fixed
+// acquisition-order discipline.
+type vmShard struct {
+	mu   sync.Mutex
+	used int64
+}
+
+// waitSettle mirrors the executor's claim-settle wait; its name is on
+// the blocking list.
+func (v *vmish) waitSettle() {}
+
+// reserveShard runs under the caller's shard lock and may return with
+// it still held. Requires sh.mu held.
+func (v *vmish) reserveShard(sh *vmShard, bytes int64) {
+	sh.used += bytes
+}
+
+// evictShard documents the parameter contract and drops the lock
+// around a slow copy, reacquiring before return — no leak either way.
+// Requires sh.mu held (released around the copy).
+func (v *vmish) evictShard(sh *vmShard, bad bool) error {
+	if bad {
+		return errSentinel
+	}
+	sh.mu.Unlock()
+	sh.mu.Lock()
+	return nil
+}
+
+// paramLeakNoContract has no doc contract, so the lock it takes on the
+// parameter must be released on every path.
+func (v *vmish) paramLeakNoContract(sh *vmShard, bad bool) error {
+	sh.mu.Lock()
+	if bad {
+		return errSentinel // want "return path leaks held lock mu"
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// blockUnderShardContract: the param contract puts sh.mu in the held
+// state, so parking under it is flagged just like a receiver lock.
+// Requires sh.mu held.
+func (v *vmish) blockUnderShardContract(sh *vmShard) {
+	<-v.done // want "channel receive while mu is held"
+}
+
+// waitSettleUnderLock: the in-module blocking list covers waitSettle.
+func (v *vmish) waitSettleUnderLock(sh *vmShard) {
+	sh.mu.Lock()
+	v.waitSettle() // want "waitSettle \\(blocks on claim settle\\) while mu is held"
+	sh.mu.Unlock()
+}
+
+// nestedShards takes a second shard lock while holding one — the
+// deadlock class the fixed device order exists to prevent.
+func (v *vmish) nestedShards(a, b *vmShard) {
+	a.mu.Lock()
+	b.mu.Lock() // want "second shard lock b.mu acquired while a.mu is held"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// sweepShards visits shards one at a time; never holds two.
+func (v *vmish) sweepShards(shards []*vmShard) int64 {
+	var total int64
+	for _, sh := range shards {
+		sh.mu.Lock()
+		total += sh.used
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// orderedShards declares the contract, licensing the nesting: shards
+// are locked in ascending device order.
+func (v *vmish) orderedShards(a, b *vmShard) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// nestedUnderContract holds one shard by contract and takes another —
+// still a nesting violation without the order declaration.
+// Requires sh.mu held.
+func (v *vmish) nestedUnderContract(sh, other *vmShard) {
+	other.mu.Lock() // want "second shard lock other.mu acquired while sh.mu is held"
+	other.mu.Unlock()
+}
+
+// nonShardNesting: plain mutexes are outside the shard discipline.
+func (v *vmish) nonShardNesting(w *vmish) {
+	v.mu.Lock()
+	w.mu.Lock()
+	w.mu.Unlock()
+	v.mu.Unlock()
+}
+
 var errSentinel = sentinelErr{}
 
 type sentinelErr struct{}

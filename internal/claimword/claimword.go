@@ -1,0 +1,259 @@
+// Package claimword defines the packed atomic claim word that drives
+// the exec VM's per-buffer DMA state machine. One uint64 carries the
+// DMA state, the residency/async/committed/prefetched flags and the
+// pin count, so every transition on the hot path — pin, unpin, claim,
+// commit, settle — is a single compare-and-swap instead of a critical
+// section under a global lock. Demand Ensure, prefetch EnsureAsync,
+// eviction and DMA completion on different devices therefore never
+// contend on buffer metadata.
+//
+// The package holds only *pure* transition functions: each takes an
+// observed word and returns the successor word plus an ok bit. The
+// runtime (internal/exec) applies them with CompareAndSwap loops; the
+// model checker (internal/schedcheck) applies them directly to model
+// state, so the exact encoding and protocol the executor runs is what
+// gets exhaustively explored. The claimdiscipline analyzer
+// (internal/analyzers) enforces that the executor mutates claim words
+// only through its state-machine helpers, and those helpers only via
+// CAS on these transitions.
+//
+// Word layout (low to high):
+//
+//	bits 0-1  DMA state: 0 idle, 1 swap-in, 2 swap-out
+//	bit  2    async      — claim completes autonomously on a DMA worker
+//	bit  3    committed  — sync claim past its reserve: pure transfer left
+//	bit  4    resident   — a device copy exists (dev/devID are valid)
+//	bit  5    prefetched — residency established by EnsureAsync, unconsumed
+//	bits 8-27 pin count
+//
+// Invariant (DESIGN.md §9, re-proven over all interleavings by the
+// schedcheck DMA model): a resident buffer is never claimed without
+// async or committed set — every claim eviction can observe completes
+// autonomously, so waiting on it cannot deadlock. Violation reports a
+// word that breaks it.
+package claimword
+
+import "fmt"
+
+// Word is one buffer's packed claim state. The zero Word is idle,
+// non-resident, unpinned — a freshly created buffer.
+type Word uint64
+
+// State is the DMA leg of the state machine.
+type State uint64
+
+const (
+	// Idle: no DMA in flight; the buffer may be pinned, claimed or
+	// evicted.
+	Idle State = 0
+	// SwapIn: a host→device or device→device copy is filling the
+	// device buffer; its contents are undefined until settle.
+	SwapIn State = 1
+	// SwapOut: a device→host write-back is draining the device copy;
+	// it stays valid but immutable (no pins) until settle.
+	SwapOut State = 2
+)
+
+const (
+	stateMask Word = 0x3
+
+	// Flag bits are exported so the schedcheck model (and its seeded
+	// mutation hooks) can compose and decompose words directly. The
+	// executor never touches them outside this package's transitions.
+	FlagAsync      Word = 1 << 2
+	FlagCommitted  Word = 1 << 3
+	FlagResident   Word = 1 << 4
+	FlagPrefetched Word = 1 << 5
+
+	pinShift      = 8
+	pinLimit Word = 1 << 20
+	pinMask  Word = (pinLimit - 1) << pinShift
+)
+
+// State extracts the DMA state.
+func (w Word) State() State { return State(w & stateMask) }
+
+// Claimed reports whether a DMA is in flight (state != Idle).
+func (w Word) Claimed() bool { return w.State() != Idle }
+
+// Async reports a claim owned by an autonomously-completing worker.
+func (w Word) Async() bool { return w&FlagAsync != 0 }
+
+// Committed reports a sync claim past its reserve.
+func (w Word) Committed() bool { return w&FlagCommitted != 0 }
+
+// Resident reports that a device copy exists.
+func (w Word) Resident() bool { return w&FlagResident != 0 }
+
+// Prefetched reports unconsumed prefetched residency.
+func (w Word) Prefetched() bool { return w&FlagPrefetched != 0 }
+
+// Waitable reports a claim that completes autonomously — the only
+// kind eviction may block on (an uncommitted sync claim may itself be
+// waiting to reserve, so waiting on it could deadlock).
+func (w Word) Waitable() bool { return w.Claimed() && (w.Async() || w.Committed()) }
+
+// Pins returns the pin count.
+func (w Word) Pins() int { return int((w & pinMask) >> pinShift) }
+
+func (w Word) withPins(n int) Word {
+	return (w &^ pinMask) | (Word(n) << pinShift & pinMask)
+}
+
+// String renders a word for diagnostics and model counterexamples.
+func (w Word) String() string {
+	st := [3]string{"idle", "swap-in", "swap-out"}[w.State()]
+	flags := ""
+	if w.Async() {
+		flags += "A"
+	}
+	if w.Committed() {
+		flags += "C"
+	}
+	if w.Resident() {
+		flags += "R"
+	}
+	if w.Prefetched() {
+		flags += "P"
+	}
+	return fmt.Sprintf("{%s %s pins=%d}", st, flags, w.Pins())
+}
+
+// Need is a claim precondition: what the claimant requires of the
+// buffer beyond it being idle.
+type Need int
+
+const (
+	// NeedIdle: any idle buffer. Used by snapshot write-backs (Host),
+	// which tolerate existing pins.
+	NeedIdle Need = iota
+	// NeedUnpinned: idle and unpinned. Used by eviction, p2p moves,
+	// Free and Invalidate, which destroy or relocate the device copy.
+	NeedUnpinned
+	// NeedEmpty: idle, unpinned and non-resident. Used by swap-in,
+	// Alloc and prefetch, which are about to create the device copy.
+	NeedEmpty
+)
+
+// Claim transitions w into the claimed state st. async marks claims
+// serviced by a DMA worker; committed marks sync claims that already
+// hold every resource they need (write-backs, p2p with the
+// destination reserved) — passing it at claim time keeps the
+// resident-implies-waitable invariant in a single CAS, with no
+// observable claimed-but-uncommitted window. Returns ok=false when
+// the precondition fails (already claimed, or pinned/resident against
+// need); callers re-observe and retry or bail.
+func Claim(w Word, st State, async, committed bool, need Need) (Word, bool) {
+	if st != SwapIn && st != SwapOut {
+		return w, false
+	}
+	if w.State() != Idle {
+		return w, false
+	}
+	switch need {
+	case NeedUnpinned:
+		if w.Pins() > 0 {
+			return w, false
+		}
+	case NeedEmpty:
+		if w.Pins() > 0 || w.Resident() || w.Prefetched() {
+			return w, false
+		}
+	}
+	n := (w &^ (stateMask | FlagAsync | FlagCommitted)) | Word(st)
+	if async {
+		n |= FlagAsync
+	}
+	if committed {
+		n |= FlagCommitted
+	}
+	return n, true
+}
+
+// Commit publishes residency for a claimed swap-in (demand, Alloc or
+// prefetch) whose reserve completed: only the pure transfer remains,
+// so the claim now completes autonomously and eviction may wait on
+// it. Sync claims gain committed; async (prefetch) claims additionally
+// gain the prefetched mark. Residency and the waitable mark are set
+// in the same word, upholding resident-implies-waitable atomically.
+// Returns ok=false if w is not claimed.
+func Commit(w Word) (Word, bool) {
+	if !w.Claimed() {
+		return w, false
+	}
+	n := w | FlagResident | FlagCommitted
+	if w.Async() {
+		n |= FlagPrefetched
+	}
+	return n, true
+}
+
+// Settle completes w's claim: state returns to Idle, async/committed
+// clear, residency is set to the outcome, and pinDelta (0 or +1, for
+// paths that hand the buffer to their caller pinned) adjusts the pin
+// count. Losing residency also clears the prefetched mark — the
+// caller returns those bytes to the prefetch budget. Returns ok=false
+// if w is not claimed or the pin adjustment underflows.
+func Settle(w Word, resident bool, pinDelta int) (Word, bool) {
+	if !w.Claimed() {
+		return w, false
+	}
+	pins := w.Pins() + pinDelta
+	if pins < 0 || Word(pins) >= pinLimit {
+		return w, false
+	}
+	n := w &^ (stateMask | FlagAsync | FlagCommitted)
+	if resident {
+		n |= FlagResident
+	} else {
+		n &^= FlagResident | FlagPrefetched
+	}
+	return n.withPins(pins), true
+}
+
+// Pin takes one pin on an idle resident buffer. Claims require
+// idleness, so a successful pin excludes eviction and relocation
+// until the matching Unpin. Returns ok=false when the buffer is
+// claimed or not resident; callers re-observe (the claim may be their
+// own prefetch about to land).
+func Pin(w Word) (Word, bool) {
+	if w.State() != Idle || !w.Resident() {
+		return w, false
+	}
+	if Word(w.Pins()+1) >= pinLimit {
+		return w, false
+	}
+	return w.withPins(w.Pins() + 1), true
+}
+
+// Unpin releases one pin. Returns ok=false on underflow.
+func Unpin(w Word) (Word, bool) {
+	if w.Pins() == 0 {
+		return w, false
+	}
+	return w.withPins(w.Pins() - 1), true
+}
+
+// ConsumePrefetch clears the prefetched mark (first demand hit, or
+// eviction/relocation of an unconsumed prefetch). Returns ok=false if
+// the mark is not set; exactly one caller wins, so prefetch-budget
+// accounting stays balanced.
+func ConsumePrefetch(w Word) (Word, bool) {
+	if !w.Prefetched() {
+		return w, false
+	}
+	return w &^ FlagPrefetched, true
+}
+
+// Violation reports why w breaks the claim-machine invariant, or ""
+// if it doesn't. The schedcheck DMA model evaluates it on every
+// reachable state; the skip-commit mutation exists to prove it trips.
+func Violation(w Word) string {
+	if w.Resident() && w.Claimed() && !w.Async() && !w.Committed() {
+		return fmt.Sprintf("resident buffer holds uncommitted sync claim %v: eviction cannot wait on it", w)
+	}
+	if !w.Resident() && w.Prefetched() {
+		return fmt.Sprintf("non-resident buffer marked prefetched %v: budget accounting leaked", w)
+	}
+	return ""
+}

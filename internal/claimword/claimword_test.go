@@ -1,0 +1,199 @@
+package claimword
+
+import "testing"
+
+func must(t *testing.T, w Word, ok bool, what string) Word {
+	t.Helper()
+	if !ok {
+		t.Fatalf("%s: transition refused on %v", what, w)
+	}
+	return w
+}
+
+func refuse(t *testing.T, w Word, ok bool, what string) {
+	t.Helper()
+	if ok {
+		t.Fatalf("%s: transition allowed, got %v", what, w)
+	}
+}
+
+// TestDemandSwapInLifecycle walks the canonical demand-miss path:
+// claim → commit → settle(+pin) → unpin, checking every intermediate
+// word.
+func TestDemandSwapInLifecycle(t *testing.T) {
+	var w Word
+	if w.State() != Idle || w.Resident() || w.Pins() != 0 {
+		t.Fatalf("zero word not empty-idle: %v", w)
+	}
+	w2, ok := Claim(w, SwapIn, false, false, NeedEmpty)
+	w = must(t, w2, ok, "claim")
+	if w.State() != SwapIn || w.Async() || w.Committed() || w.Resident() {
+		t.Fatalf("after claim: %v", w)
+	}
+	if v := Violation(w); v != "" {
+		t.Fatalf("non-resident claim flagged: %s", v)
+	}
+	w2, ok = Commit(w)
+	w = must(t, w2, ok, "commit")
+	if !w.Resident() || !w.Committed() || !w.Waitable() {
+		t.Fatalf("after commit: %v", w)
+	}
+	if v := Violation(w); v != "" {
+		t.Fatalf("committed claim flagged: %s", v)
+	}
+	w2, ok = Settle(w, true, +1)
+	w = must(t, w2, ok, "settle")
+	if w.State() != Idle || !w.Resident() || w.Committed() || w.Pins() != 1 {
+		t.Fatalf("after settle: %v", w)
+	}
+	w2, ok = Unpin(w)
+	w = must(t, w2, ok, "unpin")
+	if w.Pins() != 0 {
+		t.Fatalf("after unpin: %v", w)
+	}
+}
+
+// TestPrefetchLifecycle checks the async path: claim(async) → commit
+// sets resident+prefetched, settle keeps the mark, a demand hit
+// consumes it exactly once.
+func TestPrefetchLifecycle(t *testing.T) {
+	var w Word
+	w2, ok := Claim(w, SwapIn, true, false, NeedEmpty)
+	w = must(t, w2, ok, "claim")
+	if !w.Async() || !w.Waitable() {
+		t.Fatalf("async claim not waitable: %v", w)
+	}
+	w2, ok = Commit(w)
+	w = must(t, w2, ok, "commit")
+	if !w.Prefetched() || !w.Resident() {
+		t.Fatalf("async commit lost marks: %v", w)
+	}
+	w2, ok = Settle(w, true, 0)
+	w = must(t, w2, ok, "settle")
+	if !w.Prefetched() || w.Async() {
+		t.Fatalf("settle mishandled prefetch mark: %v", w)
+	}
+	w2, ok = Pin(w)
+	w = must(t, w2, ok, "pin")
+	w2, ok = ConsumePrefetch(w)
+	w = must(t, w2, ok, "consume")
+	if w.Prefetched() {
+		t.Fatalf("consume left mark: %v", w)
+	}
+	_, ok = ConsumePrefetch(w)
+	refuse(t, w, ok, "double consume")
+}
+
+// TestClaimPreconditions exercises every Need level and the
+// double-claim refusal.
+func TestClaimPreconditions(t *testing.T) {
+	var w Word
+	resident := settleResident(t)
+
+	if _, ok := Claim(resident, SwapIn, false, false, NeedEmpty); ok {
+		t.Fatal("NeedEmpty claimed a resident buffer")
+	}
+	pinned, ok := Pin(resident)
+	pinned = must(t, pinned, ok, "pin")
+	if _, ok := Claim(pinned, SwapOut, false, true, NeedUnpinned); ok {
+		t.Fatal("NeedUnpinned claimed a pinned buffer")
+	}
+	if _, ok := Claim(pinned, SwapOut, false, true, NeedIdle); !ok {
+		t.Fatal("NeedIdle refused a pinned buffer")
+	}
+	claimed, ok := Claim(w, SwapIn, false, false, NeedEmpty)
+	claimed = must(t, claimed, ok, "claim")
+	if _, ok := Claim(claimed, SwapOut, false, false, NeedIdle); ok {
+		t.Fatal("double claim allowed")
+	}
+	if _, ok := Claim(w, State(3), false, false, NeedIdle); ok {
+		t.Fatal("claim accepted a bogus state")
+	}
+}
+
+// TestPinRules: pins need idle+resident; unpin underflow refuses.
+func TestPinRules(t *testing.T) {
+	var w Word
+	if _, ok := Pin(w); ok {
+		t.Fatal("pinned a non-resident buffer")
+	}
+	claimed, _ := Claim(w, SwapIn, false, false, NeedEmpty)
+	committed, _ := Commit(claimed)
+	if _, ok := Pin(committed); ok {
+		t.Fatal("pinned a claimed buffer")
+	}
+	if _, ok := Unpin(w); ok {
+		t.Fatal("unpin underflow allowed")
+	}
+	resident := settleResident(t)
+	w2, ok := Pin(resident)
+	w2 = must(t, w2, ok, "pin")
+	if w2.Pins() != 1 {
+		t.Fatalf("pin count: %v", w2)
+	}
+}
+
+// TestCommittedAtClaim: write-back-style claims pass committed=true
+// and are waitable from their very first visible word.
+func TestCommittedAtClaim(t *testing.T) {
+	resident := settleResident(t)
+	w, ok := Claim(resident, SwapOut, false, true, NeedUnpinned)
+	w = must(t, w, ok, "claim")
+	if !w.Waitable() {
+		t.Fatalf("committed claim not waitable: %v", w)
+	}
+	if v := Violation(w); v != "" {
+		t.Fatalf("committed-at-claim flagged: %s", v)
+	}
+	w2, ok := Settle(w, false, 0)
+	w2 = must(t, w2, ok, "settle")
+	if w2.Resident() || w2.Prefetched() {
+		t.Fatalf("settle kept residency: %v", w2)
+	}
+}
+
+// TestViolation: a resident sync claim without committed is exactly
+// the state the invariant (and the skip-commit mutation) targets.
+func TestViolation(t *testing.T) {
+	bad := Word(SwapIn) | FlagResident // resident, claimed, not committed
+	if Violation(bad) == "" {
+		t.Fatalf("uncommitted resident claim not flagged: %v", bad)
+	}
+	leak := FlagPrefetched // prefetched but not resident
+	if Violation(leak) == "" {
+		t.Fatalf("prefetch budget leak not flagged: %v", leak)
+	}
+	if Violation(0) != "" {
+		t.Fatal("zero word flagged")
+	}
+}
+
+// TestSettleGuards: settle refuses unclaimed words and pin underflow.
+func TestSettleGuards(t *testing.T) {
+	if _, ok := Settle(0, false, 0); ok {
+		t.Fatal("settled an unclaimed word")
+	}
+	claimed, _ := Claim(0, SwapIn, false, false, NeedEmpty)
+	if _, ok := Settle(claimed, false, -1); ok {
+		t.Fatal("settle pin underflow allowed")
+	}
+}
+
+// settleResident builds an idle resident unpinned word via the public
+// transitions only.
+func settleResident(t *testing.T) Word {
+	t.Helper()
+	w, ok := Claim(0, SwapIn, false, false, NeedEmpty)
+	if !ok {
+		t.Fatal("setup claim refused")
+	}
+	w, ok = Commit(w)
+	if !ok {
+		t.Fatal("setup commit refused")
+	}
+	w, ok = Settle(w, true, 0)
+	if !ok {
+		t.Fatal("setup settle refused")
+	}
+	return w
+}

@@ -56,8 +56,8 @@ func TestVMSwapRoundTripPreservesData(t *testing.T) {
 	if back[0] != 42 || back[1] != 1 {
 		t.Fatalf("writeback lost data: %v", back[:4])
 	}
-	if vm.Stats.SwapOuts != 1 || vm.Stats.SwapIns != 2 {
-		t.Fatalf("stats = %+v", vm.Stats)
+	if s := vm.StatsSnapshot(); s.SwapOuts != 1 || s.SwapIns != 2 {
+		t.Fatalf("stats = %+v", s)
 	}
 }
 
@@ -75,8 +75,8 @@ func TestVMDirtyTrackingDropsClean(t *testing.T) {
 	if _, err := vm.Ensure(0, b); err != nil {
 		t.Fatal(err)
 	}
-	if vm.Stats.SwapOuts != 0 || vm.Stats.Drops != 1 {
-		t.Fatalf("clean eviction should drop: %+v", vm.Stats)
+	if s := vm.StatsSnapshot(); s.SwapOuts != 0 || s.Drops != 1 {
+		t.Fatalf("clean eviction should drop: %+v", s)
 	}
 }
 
@@ -126,8 +126,8 @@ func TestVMP2PMove(t *testing.T) {
 	if dev1[7] != 3.5 {
 		t.Fatal("p2p move lost data")
 	}
-	if vm.Stats.P2PMoves != 1 || vm.Used(0) != 0 || vm.Used(1) != 400 {
-		t.Fatalf("p2p accounting: %+v used=%d/%d", vm.Stats, vm.Used(0), vm.Used(1))
+	if s := vm.StatsSnapshot(); s.P2PMoves != 1 || vm.Used(0) != 0 || vm.Used(1) != 400 {
+		t.Fatalf("p2p accounting: %+v used=%d/%d", s, vm.Used(0), vm.Used(1))
 	}
 }
 
@@ -606,7 +606,7 @@ func TestVMInvalidate(t *testing.T) {
 	if got[0] != 7 {
 		t.Fatalf("stale device copy survived: %v", got[0])
 	}
-	if vm.Stats.SwapOuts != 0 {
+	if vm.StatsSnapshot().SwapOuts != 0 {
 		t.Fatal("invalidate must not write back")
 	}
 }

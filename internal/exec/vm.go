@@ -16,8 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"harmony/internal/claimword"
 	"harmony/internal/fault"
 	"harmony/internal/memory"
 	"harmony/internal/tensor"
@@ -54,7 +56,7 @@ type VMStats struct {
 }
 
 // add accumulates counters (used to carry stats across the VM rebuild
-// a recovery performs).
+// a recovery performs, and to sum per-shard counters).
 func (s VMStats) add(o VMStats) VMStats {
 	s.SwapInBytes += o.SwapInBytes
 	s.SwapOutBytes += o.SwapOutBytes
@@ -73,88 +75,118 @@ func (s VMStats) add(o VMStats) VMStats {
 	return s
 }
 
-// bufState is the DMA leg of a buffer's state machine. Residency is
-// orthogonal (dev != nil); the four states of DESIGN.md §9 are the
-// cross product: host-only (idle, dev == nil), swapping-in, resident
-// (idle, dev != nil) and swapping-out.
-type bufState int
-
-const (
-	// stIdle: no DMA in flight; the buffer may be pinned, evicted or
-	// transferred.
-	stIdle bufState = iota
-	// stSwapIn: a host→device or device→device copy is filling
-	// b.dev; its contents are undefined until the state settles.
-	stSwapIn
-	// stSwapOut: a device→host write-back is draining b.dev; the
-	// device copy is valid but must stay immutable (no pins) until
-	// the state settles.
-	stSwapOut
-)
-
+// buffer is one tensor's VM state. Concurrency splits its fields into
+// three ownership domains:
+//
+//   - word/done: the packed atomic claim word (internal/claimword) and
+//     the claim's wakeup channel. Mutated only by the state-machine
+//     helpers in dma.go (claim/commit/settle/pin/unpin/
+//     consumePrefetch), only via CAS — the claimdiscipline analyzer
+//     enforces this.
+//   - dev, devID, host, dirty: owned by the claim holder. Claims
+//     require idleness and (except snapshot write-backs) zero pins, so
+//     a successful claim CAS excludes every other writer; lock-free
+//     readers first observe an idle word via an atomic load, which
+//     happens-after the settle that published the fields. dirty is
+//     atomic because pin holders (MarkDirty) write it while shard
+//     scans (CleanAhead, victim selection) read it.
+//   - last, prev, next: LRU bookkeeping, guarded by the owning
+//     device's shard mutex. A buffer is linked iff its word is
+//     resident-idle or claimed-resident; unlinking happens only under
+//     the shard lock while holding the claim.
 type buffer struct {
 	t     *tensor.Tensor
 	host  []float32 // backing copy; nil until first host materialization
 	dev   []float32 // device copy; nil when not resident
 	devID int
-	dirty bool // device copy newer than host copy
-	pins  int
-	last  int64 // LRU clock (diagnostics; ordering lives in the list)
+	dirty atomic.Bool // device copy newer than host copy
 
-	// DMA state machine. done is non-nil exactly while state !=
-	// stIdle and is closed when the in-flight operation settles;
-	// async marks operations owned by a DMA worker, committed marks
-	// synchronous operations past their reserve (pure transfer left).
-	// Both kinds complete autonomously — the only claims eviction may
-	// wait on; an uncommitted sync claim may itself be waiting to
-	// reserve, so waiting on it could deadlock. prefetched marks
-	// residency established by EnsureAsync until the first demand hit
-	// claims it.
-	state      bufState
-	done       chan struct{}
-	async      bool
-	committed  bool
-	prefetched bool
+	// word is the packed DMA/residency/pin state machine; done points
+	// to the current claim's wakeup channel, closed at settle. done is
+	// published by the claim winner right after its CAS, so waiters
+	// that observe a claimed word with a nil done simply yield and
+	// re-observe.
+	word atomic.Uint64
+	done atomic.Pointer[chan struct{}]
 
-	// Intrusive per-device LRU list (least-recent at head). A buffer
-	// is linked iff it is resident (dev != nil).
+	last int64 // LRU clock (diagnostics; ordering lives in the list)
+
+	// Intrusive per-shard LRU list (least-recent at head).
 	prev, next *buffer
 }
 
 func (b *buffer) floats() int { return int(b.t.Bytes / 4) }
 
+// load atomically observes b's claim word.
+func (b *buffer) load() claimword.Word { return claimword.Word(b.word.Load()) }
+
 // lruList is one device's residency list, least-recently-used first.
 type lruList struct{ head, tail *buffer }
 
+// vmShard is one device's slice of the VM: capacity accounting, LRU
+// order, prefetch budget, DMA queue and movement stats, guarded by
+// its own mutex so devices never contend with each other on the swap
+// hot path.
+type vmShard struct {
+	mu sync.Mutex
+
+	dev     int
+	used    int64
+	lru     lruList
+	clock   int64
+	pfBytes int64 // prefetched bytes in flight or resident-unconsumed
+	stats   VMStats
+	queue   []dmaReq
+	work    *sync.Cond // signaled when queue grows or the VM closes
+	// syncOuts counts synchronous write-backs (eviction or Host
+	// stalls) on this device; cleanSeen is its value at the last
+	// CleanAhead batch. Clean-ahead only arms after a new stall, so
+	// workloads whose evictions are all drops never pay write-back
+	// link traffic.
+	syncOuts  int
+	cleanSeen int
+}
+
 // VM is a coherent virtual memory across virtual devices.
 //
-// Locking: mu guards metadata only — residency, pins, LRU order,
-// capacity accounting and Stats. Copy execution (memcpy, modeled link
-// time, fault-retry backoff) always runs with mu released: demand
-// misses copy on the calling device worker's goroutine, prefetches
-// and proactive write-backs on per-device DMA worker goroutines. A
-// buffer with a copy in flight is claimed (state != stIdle); every
-// path that needs it waits on its done channel instead of starting a
-// second copy, and eviction skips claimed buffers. Kernel math runs
-// on the returned slices outside the lock; the pin taken by
-// Ensure/Alloc guarantees no concurrent eviction invalidates them,
-// and the dependency dispatcher guarantees no two in-flight tasks
-// share a tensor. Stats is guarded by mu; read it via Trainer.Stats
-// (or after WaitIdle).
+// Locking discipline (DESIGN.md §12): the hot path is sharded by
+// device. Each vmShard's mutex guards only that device's accounting —
+// used bytes, LRU order, prefetch budget, DMA queue and stats.
+// Per-buffer state (residency, pins, claim) lives in a packed atomic
+// claim word driven by CAS (internal/claimword), so demand Ensure,
+// prefetch EnsureAsync, eviction and DMA completion on different
+// devices never touch a common lock. Copy execution (memcpy, modeled
+// link time, fault-retry backoff) always runs with no shard lock
+// held, under a buffer claim.
 //
-// Deadlock discipline: synchronous paths may wait on async (DMA
-// worker) operations, which always complete autonomously; they never
-// wait on other synchronous claims (reserve treats those like pinned
-// buffers), and DMA workers never wait on anything but their queue.
+// Shard acquisition order: no code path holds two shard locks at
+// once. Cross-device operations (p2p moves, multi-device sweeps like
+// StatsSnapshot, Close and checkpoint save/load) visit shards one at
+// a time in ascending device order; p2p reserves and charges the
+// destination shard, releases it, and only then touches the source.
+// Any future path that must nest shard locks must acquire them in
+// ascending vmShard.dev order and say so in its doc comment (the
+// lockhold analyzer checks the declaration).
+//
+// Deadlock discipline: synchronous paths may wait on waitable claims
+// (async DMA-worker operations and committed sync claims), which
+// always complete autonomously; eviction never waits on an
+// uncommitted sync claim — the claimer may itself be waiting to
+// reserve. Claims on resident buffers set async or committed in the
+// claim CAS itself, so no observer ever sees a resident
+// claimed-unwaitable buffer (the schedcheck DMA model proves this
+// over all interleavings). DMA workers never wait on anything but
+// their queue.
 type VM struct {
-	mu       sync.Mutex
 	capacity int64
-	used     []int64
 	pol      memory.Policy
-	bufs     map[int]*buffer
-	lru      []lruList
-	clock    int64
-	Stats    VMStats
+	shards   []*vmShard
+
+	// bufMu guards the tensor-ID → buffer map (and host backing
+	// materialization, which happens at setup time); buffer state is
+	// in the claim word, not here.
+	bufMu sync.RWMutex
+	bufs  map[int]*buffer
 
 	// clk sources every wall-clock timestamp the VM records (DMA
 	// spans, overlap counters). Immutable after NewVM; reading time
@@ -162,41 +194,39 @@ type VM struct {
 	// deterministic path (enforced by the determinism analyzer).
 	clk trace.Clock
 
-	// Async DMA engine (StartEngine); nil queues mean the engine is
-	// off and EnsureAsync/CleanAhead are no-ops.
-	queues       [][]dmaReq
-	work         *sync.Cond // signaled when a queue grows or the VM closes
-	idle         *sync.Cond // signaled when asyncPending returns to zero
-	asyncPending int
-	pfBytes      []int64 // prefetched bytes per device, in flight or resident-unconsumed
-	budget       int64   // per-device cap on pfBytes: how much memory prefetch may occupy
-	closed       bool
-	asyncErr     error // first fatal fault hit on a DMA worker
-	wg           sync.WaitGroup
+	// Async DMA engine (StartEngine). engOn flips once when the
+	// engine starts; closed once at Close. pending counts queued or
+	// in-flight async requests; the worker that drops it to zero
+	// broadcasts idle under engMu, and WaitIdle holds engMu between
+	// its check and its wait, so wakeups are never lost. budget is
+	// immutable after StartEngine (published by engOn).
+	engOn    atomic.Bool
+	closed   atomic.Bool
+	pending  atomic.Int64
+	engMu    sync.Mutex
+	idle     *sync.Cond // on engMu
+	started  bool       // under engMu
+	asyncErr error      // under engMu: first fatal fault on a DMA worker
+	budget   int64      // per-device cap on pfBytes
+	wg       sync.WaitGroup
 
-	// syncOuts counts synchronous write-backs (eviction or Host
-	// stalls); cleanSeen is its value at the last CleanAhead batch.
-	// Clean-ahead only arms after a new stall, so workloads whose
-	// evictions are all drops never pay write-back link traffic.
-	syncOuts  int
-	cleanSeen int
-
+	// cfgMu guards the injectable knobs below; they are read at most
+	// once per transfer, off the hot path.
+	cfgMu sync.Mutex
 	// bytesPerSec models host-link bandwidth: every swap/p2p copy
-	// additionally sleeps bytes/bytesPerSec (outside mu), so swap
-	// cost behaves like a real PCIe transfer instead of a memcpy.
-	// 0 disables modeling.
+	// additionally sleeps bytes/bytesPerSec (outside any lock), so
+	// swap cost behaves like a real PCIe transfer instead of a
+	// memcpy. 0 disables modeling.
 	bytesPerSec int64
-
-	// rec, when non-nil, receives wall-clock DMA spans (outside mu)
-	// for the swap-overlap Gantt lanes.
+	// rec, when non-nil, receives wall-clock DMA spans (outside any
+	// lock) for the swap-overlap Gantt lanes.
 	rec func(dev int, lane trace.Lane, label string, start, end time.Time)
-
 	// Fault injection (SetFaultInjection): inj decides whether a
 	// swap-in, swap-out or p2p copy about to run fails; transient
 	// failures are retried up to maxRetries times with fault.Backoff
-	// between attempts. Backoff sleeps run outside mu — a stalled
-	// transfer stalls only its own buffer (waiters on that tensor),
-	// never the other devices.
+	// between attempts. Backoff sleeps run outside all locks — a
+	// stalled transfer stalls only its own buffer's waiters, never
+	// the other devices.
 	inj        *fault.Injector
 	maxRetries int
 	stepFn     func() int // current trainer step for fault site identity
@@ -207,23 +237,28 @@ func NewVM(devices int, capacityBytes int64, pol memory.Policy) *VM {
 	if devices <= 0 || capacityBytes <= 0 {
 		panic(fmt.Sprintf("exec: bad VM shape devices=%d capacity=%d", devices, capacityBytes))
 	}
-	return &VM{
-		capacity:  capacityBytes,
-		used:      make([]int64, devices),
-		pol:       pol,
-		bufs:      make(map[int]*buffer),
-		lru:       make([]lruList, devices),
-		cleanSeen: -1, // first CleanAhead may act before any stall
-		clk:       trace.WallClock{},
+	vm := &VM{
+		capacity: capacityBytes,
+		pol:      pol,
+		shards:   make([]*vmShard, devices),
+		bufs:     make(map[int]*buffer),
+		clk:      trace.WallClock{},
 	}
+	for d := range vm.shards {
+		sh := &vmShard{dev: d, cleanSeen: -1} // first CleanAhead may act before any stall
+		sh.work = sync.NewCond(&sh.mu)
+		vm.shards[d] = sh
+	}
+	vm.idle = sync.NewCond(&vm.engMu)
+	return vm
 }
 
 // SetFaultInjection arms the VM with a fault injector. stepFn reports
-// the current trainer step (called without the VM lock held; it must
+// the current trainer step (called without any VM lock held; it must
 // not call back into the VM). Passing a nil injector disarms.
 func (vm *VM) SetFaultInjection(inj *fault.Injector, maxRetries int, stepFn func() int) {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
+	vm.cfgMu.Lock()
+	defer vm.cfgMu.Unlock()
 	vm.inj = inj
 	vm.maxRetries = maxRetries
 	vm.stepFn = stepFn
@@ -232,30 +267,30 @@ func (vm *VM) SetFaultInjection(inj *fault.Injector, maxRetries int, stepFn func
 // SetLinkBandwidth models host-link bandwidth for all transfers
 // (0 disables; copies cost only their memcpy time).
 func (vm *VM) SetLinkBandwidth(bytesPerSec int64) {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
+	vm.cfgMu.Lock()
+	defer vm.cfgMu.Unlock()
 	vm.bytesPerSec = bytesPerSec
 }
 
 // SetRecorder installs a DMA span recorder (nil disarms). fn is
-// called outside the VM lock, on device-worker and DMA goroutines,
+// called outside all VM locks, on device-worker and DMA goroutines,
 // and must be safe for concurrent use.
 func (vm *VM) SetRecorder(fn func(dev int, lane trace.Lane, label string, start, end time.Time)) {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
+	vm.cfgMu.Lock()
+	defer vm.cfgMu.Unlock()
 	vm.rec = fn
 }
 
 // inject consults the injector for a transfer op touching tensor t on
 // dev, retrying transient faults in place with backoff. Must be
-// called WITHOUT mu held: the backoff sleeps on the calling
-// goroutine, so a flaky transfer stalls only the waiters of its own
-// buffer. Per-site determinism is unchanged — decisions hash the
-// operation identity, not the interleaving.
+// called without any shard lock held: the backoff sleeps on the
+// calling goroutine, so a flaky transfer stalls only the waiters of
+// its own buffer. Per-site determinism is unchanged — decisions hash
+// the operation identity, not the interleaving.
 func (vm *VM) inject(op fault.Op, dev int, t *tensor.Tensor) error {
-	vm.mu.Lock()
+	vm.cfgMu.Lock()
 	inj, maxRetries, stepFn := vm.inj, vm.maxRetries, vm.stepFn
-	vm.mu.Unlock()
+	vm.cfgMu.Unlock()
 	if inj.Rules() == 0 {
 		return nil
 	}
@@ -267,43 +302,62 @@ func (vm *VM) inject(op fault.Op, dev int, t *tensor.Tensor) error {
 	if t != nil {
 		layer = t.Layer
 	}
+	sh := vm.shards[dev]
 	err := inj.Inject(op, dev, step, layer)
 	for attempt := 0; fault.IsTransient(err) && attempt < maxRetries; attempt++ {
-		vm.mu.Lock()
-		vm.Stats.FaultsInjected++
-		vm.Stats.Retries++
-		vm.mu.Unlock()
+		sh.mu.Lock()
+		sh.stats.FaultsInjected++
+		sh.stats.Retries++
+		sh.mu.Unlock()
 		inj.NoteRetry(op, dev, step)
 		time.Sleep(fault.Backoff(attempt))
 		err = inj.Inject(op, dev, step, layer)
 	}
 	if err != nil {
-		vm.mu.Lock()
-		vm.Stats.FaultsInjected++
-		vm.mu.Unlock()
+		sh.mu.Lock()
+		sh.stats.FaultsInjected++
+		sh.mu.Unlock()
 	}
 	return err
 }
 
-// Used returns resident bytes on a device.
-func (vm *VM) Used(dev int) int64 {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	return vm.used[dev]
+// lookup resolves a tensor ID to its buffer under the map lock.
+func (vm *VM) lookup(id int) (*buffer, bool) {
+	vm.bufMu.RLock()
+	b, ok := vm.bufs[id]
+	vm.bufMu.RUnlock()
+	return b, ok
 }
 
-// StatsSnapshot returns a consistent copy of the movement counters.
+// Used returns resident bytes on a device.
+func (vm *VM) Used(dev int) int64 {
+	sh := vm.shards[dev]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.used
+}
+
+// StatsSnapshot sums the per-shard movement counters, visiting shards
+// one at a time in ascending device order (the fixed shard order —
+// never two shard locks at once).
 func (vm *VM) StatsSnapshot() VMStats {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	return vm.Stats
+	var s VMStats
+	for _, sh := range vm.shards {
+		sh.mu.Lock()
+		s = s.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // ---------------------------------------------------------------- LRU
 
-// lruPush links b as the most-recently-used buffer of dev.
-func (vm *VM) lruPush(dev int, b *buffer) {
-	l := &vm.lru[dev]
+// lruPush links b as the most-recently-used buffer of sh and stamps
+// its clock. Requires sh.mu held.
+func (vm *VM) lruPush(sh *vmShard, b *buffer) {
+	sh.clock++
+	b.last = sh.clock
+	l := &sh.lru
 	b.prev, b.next = l.tail, nil
 	if l.tail != nil {
 		l.tail.next = b
@@ -313,9 +367,9 @@ func (vm *VM) lruPush(dev int, b *buffer) {
 	l.tail = b
 }
 
-// lruRemove unlinks b from its device's list.
-func (vm *VM) lruRemove(b *buffer) {
-	l := &vm.lru[b.devID]
+// lruRemove unlinks b from sh's list. Requires sh.mu held.
+func (vm *VM) lruRemove(sh *vmShard, b *buffer) {
+	l := &sh.lru
 	if b.prev != nil {
 		b.prev.next = b.next
 	} else {
@@ -329,30 +383,28 @@ func (vm *VM) lruRemove(b *buffer) {
 	b.prev, b.next = nil, nil
 }
 
-// touch bumps b to most-recently-used. Requires mu held.
-func (vm *VM) touch(b *buffer) {
-	vm.clock++
-	b.last = vm.clock
-	if b.dev != nil {
-		vm.lruRemove(b)
-		vm.lruPush(b.devID, b)
-	}
+// touch bumps a linked buffer to most-recently-used. Requires sh.mu
+// held and b linked on sh (idle-resident on sh.dev implies linked).
+func (vm *VM) touch(sh *vmShard, b *buffer) {
+	vm.lruRemove(sh, b)
+	vm.lruPush(sh, b)
 }
 
-// victim returns the least-recently-used evictable buffer on dev:
-// resident, idle and unpinned. The intrusive list makes this O(1)
-// plus the pinned/claimed prefix, replacing the old full scan of the
-// buffer map (see BenchmarkVMEviction). Requires mu held.
-func (vm *VM) victim(dev int) *buffer {
+// victim returns the least-recently-used evictable buffer on sh:
+// resident, idle and unpinned per its claim word. The intrusive list
+// makes this O(1) plus the pinned/claimed prefix. Requires sh.mu
+// held; the word check is advisory — evict re-validates by claiming.
+func (vm *VM) victim(sh *vmShard) *buffer {
 	// Prefetched-but-unused pages are about to be demanded by the
 	// schedule; evicting one turns a hit into a re-fetch. Prefer any
 	// other victim, falling back only when nothing else is evictable.
 	var prefetched *buffer
-	for b := vm.lru[dev].head; b != nil; b = b.next {
-		if b.pins > 0 || b.state != stIdle {
+	for b := sh.lru.head; b != nil; b = b.next {
+		w := b.load()
+		if w.State() != claimword.Idle || w.Pins() > 0 {
 			continue
 		}
-		if b.prefetched {
+		if w.Prefetched() {
 			if prefetched == nil {
 				prefetched = b
 			}
@@ -366,10 +418,12 @@ func (vm *VM) victim(dev int) *buffer {
 // --------------------------------------------------------- public API
 
 // HostAlloc materializes a tensor's host backing (zeroed) and returns
-// it. Idempotent for already-materialized tensors.
+// it. Idempotent for already-materialized tensors. Host backing is a
+// setup-time operation: callers must not race it with transfers of
+// the same tensor.
 func (vm *VM) HostAlloc(t *tensor.Tensor) []float32 {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
+	vm.bufMu.Lock()
+	defer vm.bufMu.Unlock()
 	b, ok := vm.bufs[t.ID]
 	if !ok {
 		b = &buffer{t: t, devID: -1}
@@ -382,29 +436,41 @@ func (vm *VM) HostAlloc(t *tensor.Tensor) []float32 {
 }
 
 // Host returns the host backing, swapping the device copy back first
-// if it is dirty (used to read results out).
+// if it is dirty (used to read results out). The claim is taken with
+// committed set: a snapshot write-back holds everything it needs, so
+// eviction on the buffer's device may wait on it.
 func (vm *VM) Host(t *tensor.Tensor) ([]float32, error) {
 	for {
-		vm.mu.Lock()
-		b, ok := vm.bufs[t.ID]
+		b, ok := vm.lookup(t.ID)
 		if !ok {
-			vm.mu.Unlock()
 			return nil, fmt.Errorf("exec: tensor %s has no buffer", t)
 		}
-		if b.state != stIdle {
-			done := b.done
-			vm.mu.Unlock()
-			<-done
+		if !vm.claim(b, claimword.SwapOut, false, true, claimword.NeedIdle) {
+			vm.waitSettle(b)
 			continue
 		}
-		if b.dev != nil && b.dirty {
-			if err := vm.writeback(b, true); err != nil {
-				vm.mu.Unlock()
+		// Claim held: dev/host/dirty are ours to read.
+		resident := b.load().Resident()
+		if resident && b.dirty.Load() {
+			dev := b.devID
+			if err := vm.inject(fault.SwapOut, dev, b.t); err != nil {
+				vm.settle(b, true, 0)
 				return nil, err
 			}
+			start := vm.clk.Now()
+			copyChunked(b.host, b.dev)
+			vm.linkSleep(b.t.Bytes)
+			vm.record(dev, trace.SwapOut, "out "+b.t.String(), start)
+			b.dirty.Store(false)
+			sh := vm.shards[dev]
+			sh.mu.Lock()
+			sh.stats.SwapOutBytes += b.t.Bytes
+			sh.stats.SwapOuts++
+			sh.syncOuts++
+			sh.mu.Unlock()
 		}
 		host := b.host
-		vm.mu.Unlock()
+		vm.settle(b, resident, 0)
 		if host == nil {
 			return nil, fmt.Errorf("exec: tensor %s has no valid copy", t)
 		}
@@ -416,45 +482,56 @@ func (vm *VM) Host(t *tensor.Tensor) ([]float32, error) {
 // slice. The tensor must have a valid copy somewhere. If a prefetch
 // already swapped (or is swapping) it in, Ensure rides that DMA
 // instead of copying twice.
+//
+// The fast path — tensor already resident on dev — is one pin CAS on
+// the claim word plus a shard-local LRU touch; it takes no lock any
+// other device can observe.
 func (vm *VM) Ensure(dev int, t *tensor.Tensor) ([]float32, error) {
 	for {
-		vm.mu.Lock()
-		b, ok := vm.bufs[t.ID]
+		b, ok := vm.lookup(t.ID)
 		if !ok {
-			vm.mu.Unlock()
 			return nil, fmt.Errorf("exec: tensor %s was never materialized", t)
 		}
-		if b.state != stIdle {
+		w := b.load()
+		if w.State() != claimword.Idle {
 			// A copy is in flight (possibly our own prefetch): ride it
 			// out and re-evaluate. A prefetch landing in the right place
 			// is counted as a hit by the fast path on the next pass.
-			done := b.done
-			vm.mu.Unlock()
-			<-done
+			vm.waitSettle(b)
 			continue
 		}
-		vm.touch(b)
-		if b.dev != nil && b.devID == dev {
-			if b.prefetched {
-				vm.consumePrefetch(b)
-				vm.Stats.PrefetchHits++
+		if w.Resident() && b.devID == dev {
+			if !vm.pin(b, w) {
+				continue // word moved under us; re-evaluate
 			}
-			b.pins++
+			// Pinned: residency and placement are now frozen. Re-check
+			// the placement read that preceded the pin (an eviction and
+			// re-fetch elsewhere could have recycled the word bits).
+			if b.devID != dev {
+				vm.unpin(b)
+				continue
+			}
 			dst := b.dev
-			vm.mu.Unlock()
+			hit := vm.consumePrefetch(b)
+			sh := vm.shards[dev]
+			sh.mu.Lock()
+			if hit {
+				sh.pfBytes -= b.t.Bytes
+				sh.stats.PrefetchHits++
+			}
+			vm.touch(sh, b)
+			sh.mu.Unlock()
 			return dst, nil
 		}
-		if b.dev != nil && b.pins > 0 {
-			// A correctly dispatched schedule never uses one tensor from
-			// two in-flight tasks, so a cross-device request for a pinned
-			// tensor is a dependency bug — fail loudly instead of
-			// corrupting the running task's view.
-			vm.mu.Unlock()
-			return nil, fmt.Errorf("exec: tensor %s pinned on gpu%d while requested on gpu%d (dependency bug)",
-				t, b.devID, dev)
-		}
-		if b.dev != nil {
-			// Resident elsewhere: p2p move or host bounce.
+		if w.Resident() {
+			if w.Pins() > 0 {
+				// A correctly dispatched schedule never uses one tensor from
+				// two in-flight tasks, so a cross-device request for a pinned
+				// tensor is a dependency bug — fail loudly instead of
+				// corrupting the running task's view.
+				return nil, fmt.Errorf("exec: tensor %s pinned on gpu%d while requested on gpu%d (dependency bug)",
+					t, b.devID, dev)
+			}
 			if vm.pol.P2P {
 				dst, err := vm.moveP2P(dev, b)
 				if err == errRetry {
@@ -462,48 +539,53 @@ func (vm *VM) Ensure(dev int, t *tensor.Tensor) ([]float32, error) {
 				}
 				return dst, err
 			}
-			err := vm.writeback(b, false)
-			vm.mu.Unlock()
-			if err != nil {
+			if err := vm.bounce(b); err != nil {
+				if err == errRetry {
+					continue
+				}
 				return nil, err
 			}
 			continue // now host-only; swap in on the next pass
 		}
 		if b.host == nil {
-			vm.mu.Unlock()
 			return nil, fmt.Errorf("exec: tensor %s has no valid copy to swap in", t)
 		}
-		return vm.swapIn(dev, b)
+		dst, err := vm.swapIn(dev, b)
+		if err == errRetry {
+			continue
+		}
+		return dst, err
 	}
 }
 
-// swapIn demand-loads host-only b onto dev and pins it. mu held on
-// entry, released on return. The memcpy runs on the caller's
-// goroutine outside the lock. b is claimed but non-resident while
-// reserving, so no other device's eviction scan can see it; residency
-// and the committed mark are established together, upholding the
-// invariant that every claim on a resident buffer completes
-// autonomously.
+// swapIn demand-loads host-only b onto dev and pins it. The memcpy
+// runs on the caller's goroutine with no shard lock held. b is
+// claimed but non-resident while reserving, so no eviction scan can
+// see it; residency and the committed mark are established by a
+// single commit CAS, upholding the invariant that every claim on a
+// resident buffer completes autonomously.
 func (vm *VM) swapIn(dev int, b *buffer) ([]float32, error) {
-	vm.claim(b, stSwapIn, false)
-	if err := vm.reserve(dev, b.t.Bytes); err != nil {
-		vm.settle(b)
-		vm.mu.Unlock()
+	if !vm.claim(b, claimword.SwapIn, false, false, claimword.NeedEmpty) {
+		return nil, errRetry
+	}
+	sh := vm.shards[dev]
+	sh.mu.Lock()
+	if err := vm.reserve(sh, b.t.Bytes); err != nil {
+		sh.mu.Unlock()
+		vm.settle(b, false, 0)
 		return nil, err
 	}
 	dst := make([]float32, b.floats())
 	b.dev = dst
 	b.devID = dev
 	vm.commit(b) // reserve done: only the copy remains
-	vm.used[dev] += b.t.Bytes
-	vm.lruPush(dev, b)
-	vm.mu.Unlock()
+	sh.used += b.t.Bytes
+	vm.lruPush(sh, b)
+	sh.mu.Unlock()
 
 	if err := vm.inject(fault.SwapIn, dev, b.t); err != nil {
-		vm.mu.Lock()
-		vm.release(b)
-		vm.settle(b)
-		vm.mu.Unlock()
+		vm.dropResidency(b)
+		vm.settle(b, false, 0)
 		return nil, err
 	}
 	start := vm.clk.Now()
@@ -511,13 +593,12 @@ func (vm *VM) swapIn(dev int, b *buffer) ([]float32, error) {
 	vm.linkSleep(b.t.Bytes)
 	vm.record(dev, trace.SwapIn, "in "+b.t.String(), start)
 
-	vm.mu.Lock()
-	b.dirty = false
-	vm.Stats.SwapInBytes += b.t.Bytes
-	vm.Stats.SwapIns++
-	b.pins++
-	vm.settle(b)
-	vm.mu.Unlock()
+	b.dirty.Store(false)
+	sh.mu.Lock()
+	sh.stats.SwapInBytes += b.t.Bytes
+	sh.stats.SwapIns++
+	sh.mu.Unlock()
+	vm.settle(b, true, +1)
 	return dst, nil
 }
 
@@ -526,37 +607,38 @@ func (vm *VM) swapIn(dev int, b *buffer) ([]float32, error) {
 var errRetry = errors.New("exec: retry")
 
 // moveP2P transfers b (resident on another device, unpinned, idle) to
-// dev and pins it. mu held on entry, released on return. The
-// destination is reserved *before* b is claimed: reserve can drop the
-// lock to drain evictions, and a claim taken first would sit
-// unwaitable on the source device's LRU — a reserve there, seeing
-// only a claim it must not wait on (the claimer is itself about to
-// reserve), would report the device wedged. Reserving first keeps the
-// invariant that every claim on a resident buffer is committed, i.e.
-// completes without further allocation. Because reserve can drop the
-// lock, b may change underneath it; errRetry sends Ensure back around.
+// dev and pins it. Shard order: the destination shard is reserved,
+// charged and released *before* b is claimed — never two shard locks
+// at once — and the claim CAS carries committed, because a claim
+// holding its destination completes without further allocation, so
+// the source device's eviction may wait on it. Because reserve can
+// drop the shard lock and the claim races demand traffic, b may
+// change underneath; errRetry sends Ensure back around.
 func (vm *VM) moveP2P(dev int, b *buffer) ([]float32, error) {
 	bytes := b.t.Bytes
-	if err := vm.reserve(dev, bytes); err != nil {
-		vm.mu.Unlock()
+	dsh := vm.shards[dev]
+	dsh.mu.Lock()
+	if err := vm.reserve(dsh, bytes); err != nil {
+		dsh.mu.Unlock()
 		return nil, err
 	}
-	if b.state != stIdle || b.pins > 0 || b.dev == nil || b.devID == dev {
-		vm.mu.Unlock()
+	dsh.used += bytes // hold the destination while copying
+	dsh.mu.Unlock()
+	if !vm.claim(b, claimword.SwapIn, false, true, claimword.NeedUnpinned) {
+		vm.uncharge(dsh, bytes)
 		return nil, errRetry
 	}
-	vm.claim(b, stSwapIn, false)
-	vm.commit(b) // destination held: completion frees the source
+	if w := b.load(); !w.Resident() || b.devID == dev {
+		vm.settle(b, w.Resident(), 0)
+		vm.uncharge(dsh, bytes)
+		return nil, errRetry
+	}
 	src, srcDev := b.dev, b.devID
 	dst := make([]float32, b.floats())
-	vm.used[dev] += bytes // hold the destination while copying
-	vm.mu.Unlock()
 
 	if err := vm.inject(fault.P2P, dev, b.t); err != nil {
-		vm.mu.Lock()
-		vm.used[dev] -= bytes
-		vm.settle(b)
-		vm.mu.Unlock()
+		vm.settle(b, true, 0)
+		vm.uncharge(dsh, bytes)
 		return nil, err
 	}
 
@@ -565,209 +647,276 @@ func (vm *VM) moveP2P(dev int, b *buffer) ([]float32, error) {
 	vm.linkSleep(bytes)
 	vm.record(dev, trace.P2P, "p2p "+b.t.String(), start)
 
-	vm.mu.Lock()
-	vm.consumePrefetch(b) // prefetched to the wrong device: not a hit
-	vm.lruRemove(b)
-	vm.used[srcDev] -= bytes
+	pf := vm.consumePrefetch(b) // prefetched to the wrong device: not a hit
+	ssh := vm.shards[srcDev]
+	ssh.mu.Lock()
+	vm.lruRemove(ssh, b)
+	ssh.used -= bytes
+	if pf {
+		ssh.pfBytes -= bytes
+	}
+	ssh.mu.Unlock()
 	b.dev = dst
 	b.devID = dev
-	vm.lruPush(dev, b)
-	vm.Stats.P2PBytes += bytes
-	vm.Stats.P2PMoves++
-	b.pins++
-	vm.settle(b)
-	vm.mu.Unlock()
+	dsh.mu.Lock()
+	vm.lruPush(dsh, b)
+	dsh.stats.P2PBytes += bytes
+	dsh.stats.P2PMoves++
+	dsh.mu.Unlock()
+	vm.settle(b, true, +1)
 	return dst, nil
+}
+
+// uncharge returns speculatively-held destination bytes.
+func (vm *VM) uncharge(sh *vmShard, bytes int64) {
+	sh.mu.Lock()
+	sh.used -= bytes
+	sh.mu.Unlock()
+}
+
+// bounce writes b (resident elsewhere, observed unpinned-idle) back
+// to host and drops its residency, so Ensure can swap it in at the
+// requested device on its next pass. The claim CAS carries committed
+// — a write-back never reserves; it only frees.
+func (vm *VM) bounce(b *buffer) error {
+	if !vm.claim(b, claimword.SwapOut, false, true, claimword.NeedUnpinned) {
+		return errRetry
+	}
+	if !b.load().Resident() {
+		vm.settle(b, false, 0)
+		return nil // evicted meanwhile; already host-only
+	}
+	if b.host == nil {
+		b.host = make([]float32, b.floats())
+	}
+	dev := b.devID
+	if err := vm.inject(fault.SwapOut, dev, b.t); err != nil {
+		vm.settle(b, true, 0)
+		return err
+	}
+	start := vm.clk.Now()
+	copyChunked(b.host, b.dev)
+	vm.linkSleep(b.t.Bytes)
+	vm.record(dev, trace.SwapOut, "out "+b.t.String(), start)
+
+	b.dirty.Store(false)
+	sh := vm.shards[dev]
+	sh.mu.Lock()
+	sh.stats.SwapOutBytes += b.t.Bytes
+	sh.stats.SwapOuts++
+	sh.syncOuts++
+	vm.lruRemove(sh, b)
+	sh.used -= b.t.Bytes
+	if vm.consumePrefetch(b) {
+		sh.pfBytes -= b.t.Bytes
+	}
+	sh.mu.Unlock()
+	b.dev = nil
+	b.devID = -1
+	vm.settle(b, false, 0)
+	return nil
 }
 
 // Alloc creates a fresh device buffer for an output tensor (dirty, no
 // host copy) and pins it.
 func (vm *VM) Alloc(dev int, t *tensor.Tensor) ([]float32, error) {
 	for {
-		vm.mu.Lock()
+		vm.bufMu.Lock()
 		b, ok := vm.bufs[t.ID]
-		if ok && b.state != stIdle {
-			done := b.done
-			vm.mu.Unlock()
-			<-done
-			continue
-		}
-		if ok && (b.dev != nil || b.host != nil) {
-			vm.mu.Unlock()
-			return nil, fmt.Errorf("exec: tensor %s already materialized", t)
-		}
 		if !ok {
 			b = &buffer{t: t, devID: -1}
 			vm.bufs[t.ID] = b
 		}
-		// Claim while reserving: reserve may drop mu to drain evictions,
-		// and nothing must touch a half-allocated buffer meanwhile.
-		vm.claim(b, stSwapIn, false)
-		if err := vm.reserve(dev, t.Bytes); err != nil {
-			vm.settle(b)
-			vm.mu.Unlock()
+		vm.bufMu.Unlock()
+		w := b.load()
+		if w.State() != claimword.Idle {
+			vm.waitSettle(b)
+			continue
+		}
+		if w.Resident() || b.host != nil {
+			return nil, fmt.Errorf("exec: tensor %s already materialized", t)
+		}
+		// Claim while reserving: reserve may drop the shard lock to
+		// drain evictions, and nothing must touch a half-allocated
+		// buffer meanwhile.
+		if !vm.claim(b, claimword.SwapIn, false, false, claimword.NeedEmpty) {
+			continue
+		}
+		if b.host != nil { // re-check under claim ownership
+			vm.settle(b, false, 0)
+			return nil, fmt.Errorf("exec: tensor %s already materialized", t)
+		}
+		sh := vm.shards[dev]
+		sh.mu.Lock()
+		if err := vm.reserve(sh, t.Bytes); err != nil {
+			sh.mu.Unlock()
+			vm.settle(b, false, 0)
 			return nil, err
 		}
-		vm.touch(b)
-		b.dev = make([]float32, b.floats())
+		dst := make([]float32, b.floats())
+		b.dev = dst
 		b.devID = dev
-		b.dirty = true
-		b.pins = 1
-		vm.used[dev] += t.Bytes
-		vm.lruPush(dev, b)
-		vm.settle(b)
-		vm.mu.Unlock()
-		return b.dev, nil
+		b.dirty.Store(true)
+		vm.commit(b)
+		sh.used += t.Bytes
+		vm.lruPush(sh, b)
+		sh.mu.Unlock()
+		vm.settle(b, true, +1)
+		return dst, nil
 	}
 }
 
-// MarkDirty records an in-place mutation of the device copy.
+// MarkDirty records an in-place mutation of the device copy. The
+// caller must hold a pin on t (task outputs are pinned while their
+// kernels run), which is what makes the dirty write race-free against
+// eviction's clean checks.
 func (vm *VM) MarkDirty(t *tensor.Tensor) error {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	b, ok := vm.bufs[t.ID]
-	if !ok || b.dev == nil {
+	b, ok := vm.lookup(t.ID)
+	if !ok || !b.load().Resident() {
 		return fmt.Errorf("exec: MarkDirty on non-resident %s", t)
 	}
-	b.dirty = true
+	b.dirty.Store(true)
 	return nil
 }
 
 // Unpin releases one pin.
 func (vm *VM) Unpin(t *tensor.Tensor) error {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	b, ok := vm.bufs[t.ID]
-	if !ok || b.pins <= 0 {
+	b, ok := vm.lookup(t.ID)
+	if !ok || !vm.unpin(b) {
 		return fmt.Errorf("exec: Unpin underflow on %s", t)
 	}
-	b.pins--
 	return nil
 }
 
 // Free destroys the tensor entirely, waiting out any in-flight DMA.
 func (vm *VM) Free(t *tensor.Tensor) error {
 	for {
-		vm.mu.Lock()
-		b, ok := vm.bufs[t.ID]
+		b, ok := vm.lookup(t.ID)
 		if !ok {
-			vm.mu.Unlock()
 			return nil
 		}
-		if b.state != stIdle {
-			done := b.done
-			vm.mu.Unlock()
-			<-done
+		w := b.load()
+		if w.State() != claimword.Idle {
+			vm.waitSettle(b)
 			continue
 		}
-		if b.pins > 0 {
-			vm.mu.Unlock()
+		if w.Pins() > 0 {
 			return fmt.Errorf("exec: Free of pinned %s", t)
 		}
-		if b.dev != nil {
-			vm.release(b)
+		if !vm.claim(b, claimword.SwapOut, false, true, claimword.NeedUnpinned) {
+			continue
 		}
+		if b.load().Resident() {
+			vm.dropResidency(b)
+		}
+		vm.bufMu.Lock()
 		delete(vm.bufs, t.ID)
-		vm.mu.Unlock()
+		vm.bufMu.Unlock()
+		vm.settle(b, false, 0)
 		return nil
 	}
 }
 
-// reserve evicts LRU victims on dev until `bytes` fit. Requires mu
+// reserve evicts LRU victims on sh until `bytes` fit. Requires sh.mu
 // held; may release and reacquire it while write-backs drain or
-// async DMAs complete, so callers must not rely on unrelated state
-// across the call. Synchronous claims held by other goroutines are
-// treated like pins (they complete into a pinned buffer anyway);
-// async operations are waited on, since DMA workers always finish
-// without help.
-func (vm *VM) reserve(dev int, bytes int64) error {
+// async DMAs complete, so callers must not rely on unrelated shard
+// state across the call. Synchronous uncommitted claims held by other
+// goroutines are treated like pins (they complete into a pinned
+// buffer anyway); waitable claims — async operations and committed
+// sync claims — are waited on, since both finish without help.
+func (vm *VM) reserve(sh *vmShard, bytes int64) error {
 	if bytes > vm.capacity {
 		return fmt.Errorf("exec: tensor of %d bytes exceeds device capacity %d", bytes, vm.capacity)
 	}
-	for vm.used[dev]+bytes > vm.capacity {
-		victim := vm.victim(dev)
+	for sh.used+bytes > vm.capacity {
+		victim := vm.victim(sh)
 		if victim == nil {
-			if w := vm.waitableInFlight(dev); w != nil {
-				done := w.done
-				vm.mu.Unlock()
-				<-done
-				vm.mu.Lock()
+			if w := vm.waitableInFlight(sh); w != nil {
+				sh.mu.Unlock()
+				vm.waitSettle(w)
+				sh.mu.Lock()
 				continue
 			}
 			return fmt.Errorf("exec: device %d cannot free %d bytes (used %d, all pinned)",
-				dev, bytes, vm.used[dev])
+				sh.dev, bytes, sh.used)
 		}
-		if err := vm.evict(victim); err != nil {
+		if err := vm.evict(sh, victim); err != nil {
+			if err == errRetry {
+				continue // victim changed under the claim race; rescan
+			}
 			return err
 		}
 	}
 	return nil
 }
 
-// evict removes b from its device: dirty-tracked clean buffers are
-// dropped, everything else is written back first. Requires mu held
-// (released around the write-back copy).
-func (vm *VM) evict(b *buffer) error {
-	if vm.pol.DirtyTracking && !b.dirty && b.host != nil {
-		vm.Stats.DropBytes += b.t.Bytes
-		vm.Stats.Drops++
-		vm.release(b)
+// evict removes b from sh: dirty-tracked clean buffers are dropped,
+// everything else is written back first. Requires sh.mu held
+// (released around the write-back copy). The eviction claim carries
+// committed in its CAS — write-backs never reserve — so concurrent
+// reserves on the shard may wait on it from its first visible word.
+func (vm *VM) evict(sh *vmShard, b *buffer) error {
+	if !vm.claim(b, claimword.SwapOut, false, true, claimword.NeedUnpinned) {
+		return errRetry // raced with a pin or another claim
+	}
+	if vm.pol.DirtyTracking && !b.dirty.Load() && b.host != nil {
+		sh.stats.DropBytes += b.t.Bytes
+		sh.stats.Drops++
+		vm.lruRemove(sh, b)
+		sh.used -= b.t.Bytes
+		if vm.consumePrefetch(b) {
+			sh.pfBytes -= b.t.Bytes
+		}
+		b.dev = nil
+		b.devID = -1
+		vm.settle(b, false, 0)
 		return nil
 	}
-	return vm.writeback(b, false)
-}
-
-// writeback copies the device data into the host backing; keepDev
-// keeps the (now clean) device copy resident, otherwise it is
-// released. Naive virtualization (DirtyTracking off) writes back
-// unconditionally. Requires mu held on entry and exit; the copy runs
-// with mu released under a claim.
-func (vm *VM) writeback(b *buffer, keepDev bool) error {
-	vm.claim(b, stSwapOut, false)
-	vm.commit(b) // write-backs never reserve; they only free
+	// Write back. Naive virtualization (DirtyTracking off) writes back
+	// unconditionally.
 	if b.host == nil {
 		b.host = make([]float32, b.floats())
 	}
-	src, host, dev := b.dev, b.host, b.devID
-	vm.mu.Unlock()
-	err := vm.inject(fault.SwapOut, dev, b.t)
+	src, host := b.dev, b.host
+	sh.mu.Unlock()
+	err := vm.inject(fault.SwapOut, sh.dev, b.t)
 	if err == nil {
 		start := vm.clk.Now()
 		copyChunked(host, src)
 		vm.linkSleep(b.t.Bytes)
-		vm.record(dev, trace.SwapOut, "out "+b.t.String(), start)
+		vm.record(sh.dev, trace.SwapOut, "out "+b.t.String(), start)
 	}
-	vm.mu.Lock()
+	sh.mu.Lock()
 	if err != nil {
-		vm.settle(b)
+		vm.settle(b, true, 0) // stays resident (and dirty)
 		return err
 	}
-	b.dirty = false
-	vm.Stats.SwapOutBytes += b.t.Bytes
-	vm.Stats.SwapOuts++
-	vm.syncOuts++
-	if !keepDev {
-		vm.release(b)
+	b.dirty.Store(false)
+	sh.stats.SwapOutBytes += b.t.Bytes
+	sh.stats.SwapOuts++
+	sh.syncOuts++
+	vm.lruRemove(sh, b)
+	sh.used -= b.t.Bytes
+	if vm.consumePrefetch(b) {
+		sh.pfBytes -= b.t.Bytes
 	}
-	vm.settle(b)
+	b.dev = nil
+	b.devID = -1
+	vm.settle(b, false, 0)
 	return nil
 }
 
-// consumePrefetch clears b's prefetched mark, returning its bytes to
-// the async budget. Requires mu held and b resident.
-func (vm *VM) consumePrefetch(b *buffer) {
-	if b.prefetched {
-		b.prefetched = false
-		vm.pfBytes[b.devID] -= b.t.Bytes
+// dropResidency releases b's device residency. Requires the caller to
+// hold b's claim; takes (and releases) the shard lock of b's device.
+func (vm *VM) dropResidency(b *buffer) {
+	sh := vm.shards[b.devID]
+	sh.mu.Lock()
+	vm.lruRemove(sh, b)
+	sh.used -= b.t.Bytes
+	if vm.consumePrefetch(b) {
+		sh.pfBytes -= b.t.Bytes
 	}
-}
-
-// release frees b's device residency. Requires mu held and no DMA in
-// flight.
-func (vm *VM) release(b *buffer) {
-	vm.consumePrefetch(b)
-	vm.lruRemove(b)
-	vm.used[b.devID] -= b.t.Bytes
+	sh.mu.Unlock()
 	b.dev = nil
 	b.devID = -1
 }
@@ -777,29 +926,34 @@ func (vm *VM) release(b *buffer) {
 // externally, e.g. checkpoint restore). Fails on pinned tensors.
 func (vm *VM) Invalidate(t *tensor.Tensor) error {
 	for {
-		vm.mu.Lock()
-		b, ok := vm.bufs[t.ID]
-		if !ok || b.dev == nil {
-			vm.mu.Unlock()
+		b, ok := vm.lookup(t.ID)
+		if !ok {
 			return nil
 		}
-		if b.state != stIdle {
-			done := b.done
-			vm.mu.Unlock()
-			<-done
+		w := b.load()
+		if w.State() != claimword.Idle {
+			vm.waitSettle(b)
 			continue
 		}
-		if b.pins > 0 {
-			vm.mu.Unlock()
+		if !w.Resident() {
+			return nil
+		}
+		if w.Pins() > 0 {
 			return fmt.Errorf("exec: Invalidate of pinned %s", t)
 		}
 		if b.host == nil {
-			vm.mu.Unlock()
 			return fmt.Errorf("exec: Invalidate would lose the only copy of %s", t)
 		}
-		b.dirty = false
-		vm.release(b)
-		vm.mu.Unlock()
+		if !vm.claim(b, claimword.SwapOut, false, true, claimword.NeedUnpinned) {
+			continue
+		}
+		if !b.load().Resident() {
+			vm.settle(b, false, 0)
+			continue
+		}
+		b.dirty.Store(false)
+		vm.dropResidency(b)
+		vm.settle(b, false, 0)
 		return nil
 	}
 }

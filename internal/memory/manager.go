@@ -11,20 +11,30 @@
 // once every input is pinned and space for outputs and workspace is
 // reserved.
 //
-// Locking discipline: Manager.mu guards all mutable state. Every
-// exported method takes mu for its full duration, as do the
-// transfer-completion closures when the simulation engine fires them;
-// unexported helpers (pump, advance, ensureSpace, startEviction,
-// startSwapIn, startMigrate, freeLocked, setHome, setFatal) require
-// mu held. The lock is not reentrant. An acquire's ready callback is
-// invoked with mu RELEASED (pump dequeues the grant first, then
-// unlocks around the call) at exactly the same program point as the
-// historical lock-free code, so ready may reenter the Manager and
-// single-threaded simulation event order is unchanged. All other
-// callbacks — fail, Hook, usageHook, NextUse — run WITH mu held and
-// must not synchronously reenter the Manager. Single-threaded callers
-// pay one uncontended lock per call; concurrent callers (e.g.
-// per-device driver goroutines) get atomic state transitions.
+// Locking discipline (DESIGN.md §12): scheduling state — tensor state
+// machines, acquire queues, LRU lists, the home map — is guarded by
+// Manager.mu. Every exported scheduling method takes mu for its full
+// duration, as do the transfer-completion closures when the simulation
+// engine fires them; unexported helpers (pump, advance, ensureSpace,
+// startEviction, startSwapIn, startMigrate, freeLocked, setHome,
+// setFatal) require mu held. The lock is not reentrant. An acquire's
+// ready callback is invoked with mu RELEASED (pump dequeues the grant
+// first, then unlocks around the call) at exactly the same program
+// point as the historical lock-free code, so ready may reenter the
+// Manager and single-threaded simulation event order is unchanged.
+// fail, Hook and NextUse run WITH mu held and must not synchronously
+// reenter the Manager.
+//
+// Byte accounting — used, wsReserved, pendingFree, demand, statistics,
+// the usage hook — is sharded per device behind devShard.mu, so stats
+// and usage reads (Used, Stats, TotalStats, per-device timelines) and
+// accounting updates on different devices never serialize on
+// Manager.mu. Lock order is Manager.mu → devShard.mu, taken briefly
+// inside the accounting helpers; no path holds two shard locks at
+// once, and multi-shard sweeps visit shards one at a time in ascending
+// device order. usageHook fires after the shard lock is released, in
+// Manager.mu order (all mutations happen under it), and must not
+// reenter the Manager.
 package memory
 
 import (
@@ -85,8 +95,14 @@ type DeviceStats struct {
 	HighWaterDemand int64
 }
 
-type devState struct {
-	dev  *hw.Device
+// devShard is one device's accounting shard. The byte counters,
+// statistics and usage hook live behind the shard's own mu (see the
+// package comment for the Manager.mu → devShard.mu order); scheduling
+// state — the LRU, the acquire queue — stays under Manager.mu.
+type devShard struct {
+	dev *hw.Device
+
+	mu   sync.Mutex
 	used int64 // bytes physically resident (incl. in-flight swap-ins)
 	// wsReserved is workspace held by running tasks; evictions cannot
 	// reclaim it.
@@ -97,23 +113,38 @@ type devState struct {
 	// demand is live bytes homed to this device (resident or swapped
 	// out); see DeviceStats.HighWaterDemand.
 	demand int64
-
-	lru     *list.List // of *tensor.State, front = coldest
-	lruElem map[int]*list.Element
-
-	queue []*acquire
-
 	// usageHook observes every change to `used` (for timelines).
 	usageHook func(used int64)
+	stats     DeviceStats
 
-	stats DeviceStats
+	// Owned by Manager.mu, like all scheduling state:
+	lru     *list.List // of *tensor.State, front = coldest
+	lruElem map[int]*list.Element
+	queue   []*acquire
 }
 
-func (d *devState) free() int64 {
+func (d *devShard) free() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.dev.MemBytes - d.used - d.wsReserved
 }
 
-func (d *devState) touch(st *tensor.State) {
+// headroom returns free and pending-free bytes from one consistent
+// shard critical section (the eviction loop compares their sum).
+func (d *devShard) headroom() (free, pending int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dev.MemBytes - d.used - d.wsReserved, d.pendingFree
+}
+
+func (d *devShard) usedBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// touch and forget maintain LRU order; Manager.mu guards them.
+func (d *devShard) touch(st *tensor.State) {
 	if e, ok := d.lruElem[st.Tensor.ID]; ok {
 		d.lru.MoveToBack(e)
 		return
@@ -121,41 +152,77 @@ func (d *devState) touch(st *tensor.State) {
 	d.lruElem[st.Tensor.ID] = d.lru.PushBack(st)
 }
 
-func (d *devState) forget(st *tensor.State) {
+func (d *devShard) forget(st *tensor.State) {
 	if e, ok := d.lruElem[st.Tensor.ID]; ok {
 		d.lru.Remove(e)
 		delete(d.lruElem, st.Tensor.ID)
 	}
 }
 
-func (d *devState) addUsed(b int64) {
+func (d *devShard) addUsed(b int64) {
+	d.mu.Lock()
 	d.used += b
 	if d.used > d.stats.HighWaterUsed {
 		d.stats.HighWaterUsed = d.used
 	}
-	if d.usageHook != nil {
-		d.usageHook(d.used)
+	hook, used := d.usageHook, d.used
+	d.mu.Unlock()
+	if hook != nil {
+		hook(used)
 	}
 }
 
 // subUsed releases resident bytes.
-func (d *devState) subUsed(b int64) {
+func (d *devShard) subUsed(b int64) {
+	d.mu.Lock()
 	d.used -= b
-	if d.usageHook != nil {
-		d.usageHook(d.used)
+	hook, used := d.usageHook, d.used
+	d.mu.Unlock()
+	if hook != nil {
+		hook(used)
 	}
 }
 
-func (d *devState) addDemand(b int64) {
+func (d *devShard) addDemand(b int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.demand += b
 	if d.demand > d.stats.HighWaterDemand {
 		d.stats.HighWaterDemand = d.demand
 	}
 }
 
+func (d *devShard) addPendingFree(b int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pendingFree += b
+}
+
+// addWS adjusts the workspace reservation and returns the new value
+// (Release checks it for underflow).
+func (d *devShard) addWS(b int64) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wsReserved += b
+	return d.wsReserved
+}
+
+// note runs fn on the shard's statistics under the shard lock.
+func (d *devShard) note(fn func(s *DeviceStats)) {
+	d.mu.Lock()
+	fn(&d.stats)
+	d.mu.Unlock()
+}
+
+func (d *devShard) statsSnapshot() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
 // acquire is one pending residency request.
 type acquire struct {
-	dev      *devState
+	dev      *devShard
 	want     []*tensor.State
 	pinned   map[int]bool
 	pending  map[int]bool // transfers in flight on our behalf
@@ -176,7 +243,7 @@ type Manager struct {
 	reg    *tensor.Registry
 	pol    Policy
 	states []*tensor.State
-	devs   []*devState
+	devs   []*devShard
 	// home maps live tensors to the device whose working set they
 	// belong to (for demand accounting). Keyed by tensor ID.
 	home map[int]hw.DeviceID
@@ -214,7 +281,7 @@ func New(eng *sim.Engine, top *hw.Topology, reg *tensor.Registry, pol Policy) *M
 		m.states[t.ID] = tensor.NewState(t)
 	}
 	for _, d := range top.GPUs {
-		m.devs = append(m.devs, &devState{
+		m.devs = append(m.devs, &devShard{
 			dev:     d,
 			lru:     list.New(),
 			lruElem: make(map[int]*list.Element),
@@ -235,50 +302,50 @@ func (m *Manager) Err() error {
 	return m.fatal
 }
 
-// Stats returns a copy of the per-device statistics.
+// Stats returns a copy of the per-device statistics. It takes only
+// the device's accounting shard lock, so sampling stats mid-run never
+// contends with scheduling on other devices.
 func (m *Manager) Stats(dev hw.DeviceID) DeviceStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.devs[dev].stats
+	return m.devs[dev].statsSnapshot()
 }
 
 // TotalStats sums statistics across devices.
+// TotalStats sweeps the shards one at a time in ascending device
+// order; each device's contribution is a consistent snapshot.
 func (m *Manager) TotalStats() DeviceStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var s DeviceStats
 	for _, d := range m.devs {
-		s.SwapInBytes += d.stats.SwapInBytes
-		s.SwapOutBytes += d.stats.SwapOutBytes
-		s.DropBytes += d.stats.DropBytes
-		s.P2PInBytes += d.stats.P2PInBytes
-		s.P2POutBytes += d.stats.P2POutBytes
-		s.SwapIns += d.stats.SwapIns
-		s.SwapOuts += d.stats.SwapOuts
-		s.Drops += d.stats.Drops
+		ds := d.statsSnapshot()
+		s.SwapInBytes += ds.SwapInBytes
+		s.SwapOutBytes += ds.SwapOutBytes
+		s.DropBytes += ds.DropBytes
+		s.P2PInBytes += ds.P2PInBytes
+		s.P2POutBytes += ds.P2POutBytes
+		s.SwapIns += ds.SwapIns
+		s.SwapOuts += ds.SwapOuts
+		s.Drops += ds.Drops
 		for k := 0; k < tensor.NumKinds; k++ {
-			s.KindSwapIn[k] += d.stats.KindSwapIn[k]
-			s.KindSwapOut[k] += d.stats.KindSwapOut[k]
-			s.KindP2P[k] += d.stats.KindP2P[k]
+			s.KindSwapIn[k] += ds.KindSwapIn[k]
+			s.KindSwapOut[k] += ds.KindSwapOut[k]
+			s.KindP2P[k] += ds.KindP2P[k]
 		}
 	}
 	return s
 }
 
-// Used returns bytes currently resident on a device.
+// Used returns bytes currently resident on a device (shard lock only).
 func (m *Manager) Used(dev hw.DeviceID) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.devs[dev].used
+	return m.devs[dev].usedBytes()
 }
 
 // OnUsageChange installs a per-device observer of resident-bytes
 // changes (the memory-usage timeline of Fig. 2(c)). The observer runs
-// with the manager lock held.
+// after the shard lock is released and must not reenter the Manager.
 func (m *Manager) OnUsageChange(dev hw.DeviceID, fn func(used int64)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.devs[dev].usageHook = fn
+	d := m.devs[dev]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.usageHook = fn
 }
 
 // InitHost materializes tensors in host memory (initial weights,
@@ -496,7 +563,7 @@ func (m *Manager) pumpAll() {
 // so the state is consistent, and ready may synchronously reenter the
 // Manager (the runtime's does, to prefetch and to release
 // collectives). pump always returns with mu held.
-func (m *Manager) pump(d *devState) {
+func (m *Manager) pump(d *devShard) {
 	for len(d.queue) > 0 && m.fatal == nil {
 		a := d.queue[0]
 		if a.failed {
@@ -610,7 +677,7 @@ func (m *Manager) advance(a *acquire) (granted, progress bool) {
 		d.touch(st)
 		m.setHome(st.Tensor, dev)
 	}
-	d.wsReserved += a.ws
+	d.addWS(a.ws)
 	return true, true
 }
 
@@ -622,12 +689,15 @@ func (m *Manager) failAcquire(a *acquire, err error) {
 // ensureSpace makes progress toward `need` free bytes on d, starting
 // evictions as necessary. It returns true if the space is available
 // now.
-func (m *Manager) ensureSpace(d *devState, need int64) bool {
+func (m *Manager) ensureSpace(d *devShard, need int64) bool {
 	if d.free() >= need {
 		return true
 	}
 	// Start evictions until in-flight frees would cover the deficit.
-	for d.free()+d.pendingFree < need {
+	for {
+		if free, pending := d.headroom(); free+pending >= need {
+			break
+		}
 		victim := m.pickVictim(d)
 		if victim == nil {
 			// Nothing evictable right now; wait for pins or
@@ -646,7 +716,7 @@ func (m *Manager) ensureSpace(d *devState, need int64) bool {
 // unpinned idle resident tensor whose next scheduled use is farthest
 // away (Belady); otherwise the least-recently-used one. LRU order
 // breaks lookahead ties.
-func (m *Manager) pickVictim(d *devState) *tensor.State {
+func (m *Manager) pickVictim(d *devShard) *tensor.State {
 	if m.pol.Lookahead && m.NextUse != nil {
 		var best *tensor.State
 		bestUse := -1
@@ -674,7 +744,7 @@ func (m *Manager) pickVictim(d *devState) *tensor.State {
 // startEviction removes st from d, either by a free clean drop (when
 // dirty tracking is on and the host copy is valid) or by an async
 // writeback.
-func (m *Manager) startEviction(d *devState, st *tensor.State) {
+func (m *Manager) startEviction(d *devShard, st *tensor.State) {
 	if m.pol.DirtyTracking && !st.Dirty() {
 		if err := st.Drop(); err != nil {
 			m.setFatal(err)
@@ -682,8 +752,10 @@ func (m *Manager) startEviction(d *devState, st *tensor.State) {
 		}
 		d.forget(st)
 		d.subUsed(st.Tensor.Bytes)
-		d.stats.DropBytes += st.Tensor.Bytes
-		d.stats.Drops++
+		d.note(func(s *DeviceStats) {
+			s.DropBytes += st.Tensor.Bytes
+			s.Drops++
+		})
 		if m.Hook != nil {
 			m.Hook("drop", st.Tensor, d.dev.ID, m.eng.Now(), m.eng.Now())
 		}
@@ -696,10 +768,12 @@ func (m *Manager) startEviction(d *devState, st *tensor.State) {
 	d.forget(st)
 	bytes := st.Tensor.Bytes
 	start := m.eng.Now()
-	d.pendingFree += bytes
-	d.stats.SwapOutBytes += bytes
-	d.stats.SwapOuts++
-	d.stats.KindSwapOut[st.Tensor.Kind] += bytes
+	d.addPendingFree(bytes)
+	d.note(func(s *DeviceStats) {
+		s.SwapOutBytes += bytes
+		s.SwapOuts++
+		s.KindSwapOut[st.Tensor.Kind] += bytes
+	})
 	// Transfer never fires its callback synchronously (it schedules an
 	// engine event), so re-taking mu in the completion closure cannot
 	// deadlock against the lock we hold here.
@@ -710,7 +784,7 @@ func (m *Manager) startEviction(d *devState, st *tensor.State) {
 			m.setFatal(err)
 			return
 		}
-		d.pendingFree -= bytes
+		d.addPendingFree(-bytes)
 		d.subUsed(bytes)
 		if m.Hook != nil {
 			m.Hook("swap-out", st.Tensor, d.dev.ID, start, at)
@@ -720,7 +794,7 @@ func (m *Manager) startEviction(d *devState, st *tensor.State) {
 }
 
 // startSwapIn begins a host→device copy; memory is charged at start.
-func (m *Manager) startSwapIn(d *devState, st *tensor.State, a *acquire) {
+func (m *Manager) startSwapIn(d *devShard, st *tensor.State, a *acquire) {
 	if err := st.BeginSwapIn(d.dev.ID); err != nil {
 		m.setFatal(err)
 		return
@@ -728,9 +802,11 @@ func (m *Manager) startSwapIn(d *devState, st *tensor.State, a *acquire) {
 	bytes := st.Tensor.Bytes
 	start := m.eng.Now()
 	d.addUsed(bytes)
-	d.stats.SwapInBytes += bytes
-	d.stats.SwapIns++
-	d.stats.KindSwapIn[st.Tensor.Kind] += bytes
+	d.note(func(s *DeviceStats) {
+		s.SwapInBytes += bytes
+		s.SwapIns++
+		s.KindSwapIn[st.Tensor.Kind] += bytes
+	})
 	m.transfer(fault.SwapIn, st.Tensor.Layer, hw.Host, d.dev.ID, bytes, func(at sim.Time) {
 		m.mu.Lock()
 		defer m.mu.Unlock()
@@ -751,7 +827,7 @@ func (m *Manager) startSwapIn(d *devState, st *tensor.State, a *acquire) {
 }
 
 // startMigrate begins a p2p device→device move into d.
-func (m *Manager) startMigrate(d *devState, st *tensor.State) {
+func (m *Manager) startMigrate(d *devShard, st *tensor.State) {
 	src := m.devs[st.Dev]
 	if err := st.BeginMigrate(d.dev.ID); err != nil {
 		m.setFatal(err)
@@ -761,9 +837,12 @@ func (m *Manager) startMigrate(d *devState, st *tensor.State) {
 	bytes := st.Tensor.Bytes
 	start := m.eng.Now()
 	d.addUsed(bytes)
-	src.stats.P2POutBytes += bytes
-	d.stats.P2PInBytes += bytes
-	d.stats.KindP2P[st.Tensor.Kind] += bytes
+	// Two shards are updated, one at a time — never both locks at once.
+	src.note(func(s *DeviceStats) { s.P2POutBytes += bytes })
+	d.note(func(s *DeviceStats) {
+		s.P2PInBytes += bytes
+		s.KindP2P[st.Tensor.Kind] += bytes
+	})
 	m.transfer(fault.P2P, st.Tensor.Layer, src.dev.ID, d.dev.ID, bytes, func(at sim.Time) {
 		m.mu.Lock()
 		defer m.mu.Unlock()

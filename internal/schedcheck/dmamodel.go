@@ -1,25 +1,32 @@
 // Bounded exhaustive exploration of the DMA claim state machine.
 //
-// The executor's VM moves buffers through idle/swap-in/swap-out states
-// via exactly three writers — claim, commit, settle (exec/dma.go; the
-// claimdiscipline analyzer enforces the "exactly") — and its safety
-// rests on one invariant (DESIGN.md §9): every synchronous claim on a
-// RESIDENT buffer is COMMITTED, i.e. completes autonomously, so
-// eviction may wait on it without deadlock. harmonylint proves no code
-// path writes the fields directly; this model checker proves the
-// transition *protocol* itself upholds the invariant for every
-// interleaving of the device workers and their DMA engines over the
-// plan's opening transfer sequence.
+// The executor's VM packs each buffer's claim state into one atomic
+// word (internal/claimword) advanced only by CAS inside the exec
+// state-machine helpers (the claimdiscipline analyzer enforces the
+// "only"), and its safety rests on one invariant (DESIGN.md §9/§12):
+// every synchronous claim on a RESIDENT buffer is COMMITTED, i.e.
+// completes autonomously, so eviction may wait on it without deadlock.
+// harmonylint proves no code path mutates the word ad hoc; this model
+// checker proves the transition *protocol* itself upholds the
+// invariant for every interleaving of the device workers and their DMA
+// engines over the plan's opening transfer sequence.
 //
-// The model is deliberately small and faithful: per device, one
-// compute agent replays the demand Ensure/unpin sequence of the plan's
-// first tasks in micro-steps (claim, reserve with nondeterministic
-// victim choice, two-step dirty write-backs, commit, settle), an
-// optional prefetch op mirrors EnsureAsync's atomic spare-capacity
-// claim, and a DMA worker drains the prefetch queue in two observable
-// steps (pop, settle). Every reachable state is checked for the
-// invariant, for capacity overflow, and for global deadlock; a
-// violating interleaving is replayed as a Gantt counterexample.
+// The model applies the claimword transition functions — the very
+// functions the executor CASes into place — to per-buffer Words. Each
+// model step publishes either one transition (one CAS in the real
+// executor) or a composite taken inside a single vmShard critical
+// section whose intermediate words are inert: not resident, or already
+// waitable, so no lock-free observer (Ensure's pin fast path, the
+// eviction scan) can act differently on the intermediate than on the
+// final word. Per device, one compute agent replays the demand
+// Ensure/unpin sequence of the plan's first tasks in micro-steps
+// (claim, reserve with nondeterministic victim choice, two-step dirty
+// write-backs, commit, settle), an optional prefetch op mirrors
+// EnsureAsync's spare-capacity claim, and a DMA worker drains the
+// prefetch queue in two observable steps (pop, settle). Every
+// reachable state is checked for claimword.Violation, for capacity
+// overflow, and for global deadlock; a violating interleaving is
+// replayed as a Gantt counterexample.
 //
 // Exploration runs under both the declared capacity and the tightest
 // feasible one (the largest single task's pin set), because eviction
@@ -31,17 +38,12 @@ package schedcheck
 import (
 	"fmt"
 
+	"harmony/internal/claimword"
 	"harmony/internal/hw"
 	"harmony/internal/sched"
 	"harmony/internal/sim"
 	"harmony/internal/tensor"
 	"harmony/internal/trace"
-)
-
-const (
-	mIdle byte = iota
-	mSwapIn
-	mSwapOut
 )
 
 const (
@@ -77,15 +79,17 @@ type dmaModel struct {
 }
 
 // Dynamic state, encoded to a fixed-width key for memoization.
-// Layout per tensor: state, flags(resident|committed|async|dirty|
-// prefetched), pins. Per agent: pc, phase, victim+1. Per worker:
-// busy+1, queue length, queue entries.
+// Layout per tensor: word low byte (state+flags), pins, dirty. Per
+// agent: pc, phase, victim+1. Per worker: busy+1, queue length, queue
+// entries.
 type mkey string
 
+// mbuf is one modeled buffer: the packed claim word exactly as the
+// executor publishes it, plus the dirty mark (an atomic.Bool beside
+// the word in the real buffer, not part of it).
 type mbuf struct {
-	state                                 byte
-	resident, committed, async, dirty, pf bool
-	pins                                  byte
+	word  claimword.Word
+	dirty bool
 }
 
 type magent struct {
@@ -123,13 +127,11 @@ func (st *mstate) key() mkey {
 	}
 	b := make([]byte, 0, n)
 	for _, buf := range st.bufs {
-		flags := byte(0)
-		for i, f := range []bool{buf.resident, buf.committed, buf.async, buf.dirty, buf.pf} {
-			if f {
-				flags |= 1 << i
-			}
+		dirty := byte(0)
+		if buf.dirty {
+			dirty = 1
 		}
-		b = append(b, buf.state, flags, buf.pins)
+		b = append(b, byte(buf.word&0xff), byte(buf.word.Pins()), dirty)
 	}
 	for _, a := range st.agents {
 		b = append(b, byte(a.pc), byte(a.phase), byte(a.victim+1))
@@ -148,7 +150,7 @@ func (st *mstate) key() mkey {
 func (m *dmaModel) used(st *mstate, d int) int64 {
 	var u int64
 	for i, mt := range m.tensors {
-		if mt.dev == d && st.bufs[i].resident {
+		if mt.dev == d && st.bufs[i].word.Resident() {
 			u += mt.bytes
 		}
 	}
@@ -158,7 +160,7 @@ func (m *dmaModel) used(st *mstate, d int) int64 {
 func (m *dmaModel) pfBytes(st *mstate, d int) int64 {
 	var u int64
 	for i, mt := range m.tensors {
-		if mt.dev == d && st.bufs[i].pf {
+		if mt.dev == d && st.bufs[i].word.Prefetched() {
 			u += mt.bytes
 		}
 	}
@@ -193,18 +195,18 @@ func (m *dmaModel) agentSteps(st *mstate, d int) []succ {
 	name := func(t int) string { return m.tensors[t].name }
 	switch op.kind {
 	case opPrefetch:
-		// EnsureAsync: atomic spare-capacity claim, or silent no-op.
+		// EnsureAsync: claim(async) + commit inside one shard critical
+		// section (the async claim's intermediate word is waitable, so
+		// the composite is inert to observers), or silent no-op.
 		t := op.target
 		c := st.clone()
 		buf := &c.bufs[t]
 		fits := m.used(st, d)+m.tensors[t].bytes <= m.caps[d] &&
 			m.pfBytes(st, d)+m.tensors[t].bytes <= m.budgets[d]
 		label := "pf skip " + name(t)
-		if buf.state == mIdle && !buf.resident && buf.pins == 0 && fits {
-			buf.state = mSwapIn
-			buf.async = true
-			buf.resident = true
-			buf.pf = true
+		if w, ok := claimword.Claim(buf.word, claimword.SwapIn, true, false, claimword.NeedEmpty); ok && fits {
+			w, _ = claimword.Commit(w)
+			buf.word = w
 			buf.dirty = false
 			c.workers[d].queue = append(c.workers[d].queue, t)
 			label = "pf issue " + name(t)
@@ -214,7 +216,7 @@ func (m *dmaModel) agentSteps(st *mstate, d int) []succ {
 	case opUnpin:
 		c := st.clone()
 		for i, t := range op.unpin {
-			c.bufs[t].pins--
+			c.bufs[t].word, _ = claimword.Unpin(c.bufs[t].word)
 			if op.dirty[i] {
 				c.bufs[t].dirty = true
 			}
@@ -226,38 +228,45 @@ func (m *dmaModel) agentSteps(st *mstate, d int) []succ {
 		buf := st.bufs[t]
 		switch a.phase {
 		case 0: // acquire
-			if buf.state != mIdle {
+			if buf.word.Claimed() {
 				return nil // in flight: demand rides the DMA (blocked)
 			}
-			if buf.resident {
+			if buf.word.Resident() {
+				// Ensure fast path: pin CAS, then consume the prefetch
+				// mark (the intermediate pinned word is idle-resident —
+				// inert).
 				c := st.clone()
-				c.bufs[t].pins++
-				c.bufs[t].pf = false
+				w, _ := claimword.Pin(c.bufs[t].word)
+				if w.Prefetched() {
+					w, _ = claimword.ConsumePrefetch(w)
+				}
+				c.bufs[t].word = w
 				c.agents[d].pc++
 				return []succ{{c, "pin " + name(t), d, trace.Compute}}
 			}
 			c := st.clone()
-			c.bufs[t].state = mSwapIn
-			c.bufs[t].async = false
+			c.bufs[t].word, _ = claimword.Claim(c.bufs[t].word, claimword.SwapIn, false, false, claimword.NeedEmpty)
 			c.agents[d].phase = 1
 			return []succ{{c, "claim " + name(t), d, trace.SwapIn}}
 		case 1: // reserve: evict until the claim fits, then commit
 			if a.victim >= 0 {
 				c := st.clone()
 				v := &c.bufs[a.victim]
-				v.state = mIdle
-				v.resident = false
+				v.word, _ = claimword.Settle(v.word, false, 0)
 				v.dirty = false
-				v.committed = false
 				c.agents[d].victim = -1
 				return []succ{{c, "evicted " + name(a.victim), d, trace.SwapOut}}
 			}
 			if m.used(st, d)+m.tensors[t].bytes <= m.caps[d] {
 				c := st.clone()
 				buf := &c.bufs[t]
-				buf.resident = true
-				if !m.skipCommit {
-					buf.committed = true
+				if m.skipCommit {
+					// Seeded bug: publish residency without the commit
+					// flags — the raw-OR the Commit transition exists to
+					// make impossible.
+					buf.word |= claimword.FlagResident
+				} else {
+					buf.word, _ = claimword.Commit(buf.word)
 				}
 				c.agents[d].phase = 2
 				return []succ{{c, "commit " + name(t), d, trace.SwapIn}}
@@ -265,23 +274,23 @@ func (m *dmaModel) agentSteps(st *mstate, d int) []succ {
 			var out []succ
 			for v, mt := range m.tensors {
 				vb := st.bufs[v]
-				if mt.dev != d || !vb.resident || vb.state != mIdle || vb.pins > 0 {
+				vw, ok := claimword.Claim(vb.word, claimword.SwapOut, false, true, claimword.NeedUnpinned)
+				if mt.dev != d || !vb.word.Resident() || !ok {
 					continue
 				}
 				c := st.clone()
 				if !vb.dirty && m.dirtyTracking() {
-					c.bufs[v].resident = false
-					c.bufs[v].pf = false
+					// Clean drop: claim + settle under the shard lock (the
+					// intermediate committed-at-claim word is waitable —
+					// inert).
+					c.bufs[v].word, _ = claimword.Settle(vw, false, 0)
 					out = append(out, succ{c, "drop " + name(v), d, trace.SwapOut})
 					continue
 				}
-				// Write-back: claimed and committed together, settled by
-				// this agent's next step — the two-step window other
+				// Write-back: committed at claim in a single CAS, settled
+				// by this agent's next step — the two-step window other
 				// transitions can observe.
-				c.bufs[v].state = mSwapOut
-				c.bufs[v].async = false
-				c.bufs[v].committed = true
-				c.bufs[v].pf = false
+				c.bufs[v].word = vw
 				c.agents[d].victim = v
 				out = append(out, succ{c, "writeback " + name(v), d, trace.SwapOut})
 			}
@@ -295,11 +304,8 @@ func (m *dmaModel) agentSteps(st *mstate, d int) []succ {
 		default: // 2: copy done, settle and pin
 			c := st.clone()
 			buf := &c.bufs[t]
-			buf.state = mIdle
-			buf.async = false
-			buf.committed = false
+			buf.word, _ = claimword.Settle(buf.word, true, +1)
 			buf.dirty = false
-			buf.pins++
 			c.agents[d].phase = 0
 			c.agents[d].pc++
 			return []succ{{c, "settle " + name(t), d, trace.SwapIn}}
@@ -313,9 +319,7 @@ func (m *dmaModel) workerSteps(st *mstate, d int) []succ {
 	if w.busy >= 0 {
 		c := st.clone()
 		buf := &c.bufs[w.busy]
-		buf.state = mIdle
-		buf.async = false
-		buf.committed = false
+		buf.word, _ = claimword.Settle(buf.word, true, 0)
 		buf.dirty = false
 		c.workers[d].busy = -1
 		return []succ{{c, "dma settle " + m.tensors[w.busy].name, d, trace.Prefetch}}
@@ -331,12 +335,13 @@ func (m *dmaModel) workerSteps(st *mstate, d int) []succ {
 
 func (m *dmaModel) dirtyTracking() bool { return m.dt }
 
-// checkState returns a violation description for st, or "".
+// checkState returns a violation description for st, or "". The
+// invariant itself lives in claimword.Violation — the model checks the
+// same predicate the executor's word encoding defines.
 func (m *dmaModel) checkState(st *mstate) string {
 	for i, buf := range st.bufs {
-		if buf.resident && buf.state != mIdle && !buf.async && !buf.committed {
-			return fmt.Sprintf("%s resident with an uncommitted synchronous claim (%s): eviction waiting on it would hang",
-				m.tensors[i].name, map[byte]string{mSwapIn: "swap-in", mSwapOut: "swap-out"}[buf.state])
+		if v := claimword.Violation(buf.word); v != "" {
+			return fmt.Sprintf("%s: %s", m.tensors[i].name, v)
 		}
 	}
 	for d := range m.scripts {
