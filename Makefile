@@ -44,9 +44,10 @@ bench:
 bench-contend:
 	$(GO) test -run XXX -bench 'BenchmarkEnsureContended|BenchmarkVMEvictionZipf' -benchtime 10000x ./internal/exec/
 
-# Machine-readable swap-overlap report: sync vs prefetch per-step
-# times, swap volumes and DMA overlap fractions on the swap-bound
-# configs. Regenerates the checked-in BENCH_trainer.json.
+# Machine-readable swap-overlap report: sync vs static prefetch vs
+# adaptive prefetch per-step times, swap volumes, DMA overlap
+# fractions and window trajectories on the swap-bound configs.
+# Regenerates the checked-in BENCH_trainer.json.
 bench-json:
 	$(GO) run ./cmd/benchtrainer -steps 4 -out BENCH_trainer.json
 
@@ -57,10 +58,11 @@ bench-smoke:
 
 # Performance regression gate: regenerate the swap-overlap report and
 # fail if (a) the swap-bound config's prefetch speedup dropped >20%
-# against the checked-in baseline, or (b) the sharded Ensure hot path
-# stopped scaling — ns/op growing >15% from 16 to 64 devices means a
-# cross-device lock is back on the claim path. CI runs this on every
-# push.
+# against the checked-in baseline, (b) the adaptive controller hides
+# >5 points less DMA overlap than the static window on the same row,
+# or (c) the sharded Ensure hot path stopped scaling — ns/op growing
+# >15% from 16 to 64 devices means a cross-device lock is back on the
+# claim path. CI runs this on every push.
 bench-gate:
 	$(GO) run ./cmd/benchtrainer -steps 4 -out /tmp/BENCH_trainer.new.json
 	$(GO) run ./cmd/benchgate -old BENCH_trainer.json -new /tmp/BENCH_trainer.new.json -row dp1-hostlink -max-regress 0.20 -max-scale-degrade 0.15
@@ -81,9 +83,12 @@ schedcheck:
 	! $(GO) run ./cmd/schedcheck -mode harmony-dp -devices 2 -inject uncommitted
 	! $(GO) run ./cmd/harmonytrain -arch mlp -widths 64,32,10 -devices 2 -device-mem 16384 -steps 1
 
-# Time-boxed fuzz of the checkpoint loader: arbitrary bytes must be
-# rejected with errors, never panics or huge allocations.
+# Time-boxed fuzzing: the checkpoint loader must reject arbitrary
+# bytes with errors (never panics or huge allocations), and the
+# retuner must admit only plans that pass the schedcheck preflight,
+# whatever the measured profile claims.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 10s -test.fuzzminimizetime 5s ./internal/exec/
+	$(GO) test -run '^$$' -fuzz FuzzRetune -fuzztime 10s -test.fuzzminimizetime 5s ./internal/tuner/
 
 check: lint build test race fuzz bench-smoke bench-contend schedcheck

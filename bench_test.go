@@ -342,8 +342,9 @@ func swapBoundConfig(depth, devices int, p2p bool, link int64) TrainerConfig {
 }
 
 // timeSwapSteps measures mean wall time per Step (after one warm-up
-// step) and returns the trainer's data-movement counters.
-func timeSwapSteps(b *testing.B, cfg TrainerConfig, steps int) (time.Duration, Stats) {
+// step) and returns the trainer's data-movement counters plus, for
+// adaptive plans, the per-device window stats.
+func timeSwapSteps(b *testing.B, cfg TrainerConfig, steps int) (time.Duration, Stats, []AdaptWindowStats) {
 	b.Helper()
 	tr, err := NewTrainer(cfg)
 	if err != nil {
@@ -361,7 +362,7 @@ func timeSwapSteps(b *testing.B, cfg TrainerConfig, steps int) (time.Duration, S
 			b.Fatal(err)
 		}
 	}
-	return time.Since(start) / time.Duration(steps), tr.Stats()
+	return time.Since(start) / time.Duration(steps), tr.Stats(), tr.AdaptStats()
 }
 
 // swapBoundVariants is the prefetch-on/off × p2p-on/off bench matrix.
@@ -387,20 +388,27 @@ var swapBoundVariants = []struct {
 func BenchmarkTrainerStepSwapBound(b *testing.B) {
 	const measured = 4
 	for _, v := range swapBoundVariants {
-		for _, depth := range []int{-1, 4} {
-			name := v.name + "/sync"
-			if depth > 0 {
-				name = v.name + "/prefetch"
-			}
-			b.Run(name, func(b *testing.B) {
-				cfg := swapBoundConfig(depth, v.devices, v.p2p, v.link)
+		for _, sub := range []struct {
+			suffix   string
+			depth    int
+			adaptive bool
+		}{
+			{"sync", -1, false},
+			{"prefetch", 4, false},
+			{"adaptive", 4, true},
+		} {
+			b.Run(v.name+"/"+sub.suffix, func(b *testing.B) {
+				cfg := swapBoundConfig(sub.depth, v.devices, v.p2p, v.link)
+				cfg.AdaptivePrefetch = sub.adaptive
 				var speedup, swappedMB, overlap float64
-				if depth > 0 {
-					syncT, _ := timeSwapSteps(b, swapBoundConfig(-1, v.devices, v.p2p, v.link), measured)
-					pfT, st := timeSwapSteps(b, cfg, measured)
+				var windows []AdaptWindowStats
+				if sub.depth > 0 {
+					syncT, _, _ := timeSwapSteps(b, swapBoundConfig(-1, v.devices, v.p2p, v.link), measured)
+					pfT, st, ws := timeSwapSteps(b, cfg, measured)
 					speedup = float64(syncT) / float64(pfT)
 					swappedMB = float64(st.SwapInBytes+st.SwapOutBytes) / (1 << 20)
 					overlap = float64(st.AsyncDMANanos) / float64(pfT.Nanoseconds()*int64(measured))
+					windows = ws
 				}
 				tr, err := NewTrainer(cfg)
 				if err != nil {
@@ -415,10 +423,15 @@ func BenchmarkTrainerStepSwapBound(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
-				if depth > 0 { // after ResetTimer, which clears metrics
+				if sub.depth > 0 { // after ResetTimer, which clears metrics
 					b.ReportMetric(speedup, "speedup-vs-sync")
 					b.ReportMetric(swappedMB, "MB-swapped")
 					b.ReportMetric(overlap, "overlap-frac")
+				}
+				for _, ws := range windows { // adaptive rows only
+					b.ReportMetric(float64(ws.WindowMin), fmt.Sprintf("dev%d-window-min", ws.Dev))
+					b.ReportMetric(float64(ws.WindowMax), fmt.Sprintf("dev%d-window-max", ws.Dev))
+					b.ReportMetric(float64(ws.Resizes), fmt.Sprintf("dev%d-resizes", ws.Dev))
 				}
 			})
 		}

@@ -62,13 +62,23 @@ type run struct {
 	// fraction of the run during which a DMA engine was moving data
 	// off the critical path.
 	OverlapFrac float64 `json:"overlap_frac"`
+	// Window stats, adaptive runs only: the smallest and largest
+	// per-device lookahead the controller visited and the total
+	// resize decisions across devices.
+	WindowMin int `json:"window_min,omitempty"`
+	WindowMax int `json:"window_max,omitempty"`
+	Resizes   int `json:"resizes,omitempty"`
 }
 
 type row struct {
 	variant
-	Sync          run     `json:"sync"`
-	Prefetch      run     `json:"prefetch"`
-	SpeedupVsSync float64 `json:"speedup_vs_sync"`
+	Sync     run `json:"sync"`
+	Prefetch run `json:"prefetch"`
+	// Adaptive is the same starting window as Prefetch with the
+	// online window/budget controller armed.
+	Adaptive              run     `json:"adaptive"`
+	SpeedupVsSync         float64 `json:"speedup_vs_sync"`
+	AdaptiveSpeedupVsSync float64 `json:"adaptive_speedup_vs_sync"`
 }
 
 type report struct {
@@ -147,7 +157,7 @@ func measureContention(devs, ops int) (contentionRow, error) {
 	return contentionRow{Devices: devs, NsPerOp: wall.Nanoseconds() / int64(perG*devs)}, nil
 }
 
-func config(v variant, depth int) harmony.TrainerConfig {
+func config(v variant, depth int, adaptive bool) harmony.TrainerConfig {
 	tg := &harmony.Toggles{}
 	if !v.P2P {
 		tg.P2P = harmony.Bool(false)
@@ -157,22 +167,23 @@ func config(v variant, depth int) harmony.TrainerConfig {
 		mode, widths = harmony.HarmonyPP, []int{256, 640, 640, 640, 10}
 	}
 	return harmony.TrainerConfig{
-		Widths:          widths,
-		Mode:            mode,
-		Devices:         v.Devices,
-		DeviceBytes:     4 << 20,
-		BatchSize:       8,
-		Seed:            1,
-		Toggles:         tg,
-		PrefetchDepth:   depth,
-		LinkBytesPerSec: v.LinkBPS,
+		Widths:           widths,
+		Mode:             mode,
+		Devices:          v.Devices,
+		DeviceBytes:      4 << 20,
+		BatchSize:        8,
+		Seed:             1,
+		Toggles:          tg,
+		PrefetchDepth:    depth,
+		AdaptivePrefetch: adaptive,
+		LinkBytesPerSec:  v.LinkBPS,
 	}
 }
 
 // measure trains steps iterations (after one untimed warm-up step)
 // and returns the per-step wall time and movement counters.
-func measure(v variant, depth, steps int) (run, error) {
-	cfg := config(v, depth)
+func measure(v variant, depth, steps int, adaptive bool) (run, error) {
+	cfg := config(v, depth, adaptive)
 	tr, err := harmony.NewTrainer(cfg)
 	if err != nil {
 		return run{}, err
@@ -191,7 +202,7 @@ func measure(v variant, depth, steps int) (run, error) {
 	}
 	wall := time.Since(start)
 	st := tr.Stats()
-	return run{
+	r := run{
 		PrefetchDepth:  depth,
 		NsPerStep:      wall.Nanoseconds() / int64(steps),
 		SwapInBytes:    st.SwapInBytes,
@@ -200,7 +211,17 @@ func measure(v variant, depth, steps int) (run, error) {
 		PrefetchHits:   st.PrefetchHits,
 		CleanAheads:    st.CleanAheads,
 		OverlapFrac:    float64(st.AsyncDMANanos) / float64(wall.Nanoseconds()),
-	}, nil
+	}
+	for i, ws := range tr.AdaptStats() {
+		if i == 0 || ws.WindowMin < r.WindowMin {
+			r.WindowMin = ws.WindowMin
+		}
+		if ws.WindowMax > r.WindowMax {
+			r.WindowMax = ws.WindowMax
+		}
+		r.Resizes += ws.Resizes
+	}
+	return r, nil
 }
 
 func main() {
@@ -216,22 +237,30 @@ func main() {
 		Widths2: []int{256, 640, 640, 640, 10},
 	}
 	for _, v := range variants {
-		sync, err := measure(v, -1, *steps)
+		sync, err := measure(v, -1, *steps, false)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtrainer: %s/sync: %v\n", v.Name, err)
 			os.Exit(1)
 		}
-		pf, err := measure(v, *depth, *steps)
+		pf, err := measure(v, *depth, *steps, false)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtrainer: %s/prefetch: %v\n", v.Name, err)
 			os.Exit(1)
 		}
-		r := row{variant: v, Sync: sync, Prefetch: pf,
-			SpeedupVsSync: float64(sync.NsPerStep) / float64(pf.NsPerStep)}
+		ad, err := measure(v, *depth, *steps, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrainer: %s/adaptive: %v\n", v.Name, err)
+			os.Exit(1)
+		}
+		r := row{variant: v, Sync: sync, Prefetch: pf, Adaptive: ad,
+			SpeedupVsSync:         float64(sync.NsPerStep) / float64(pf.NsPerStep),
+			AdaptiveSpeedupVsSync: float64(sync.NsPerStep) / float64(ad.NsPerStep)}
 		rep.Rows = append(rep.Rows, r)
-		fmt.Fprintf(os.Stderr, "%-16s sync %6.1fms/step  prefetch %6.1fms/step  speedup %.2fx  overlap %2.0f%%\n",
-			v.Name, float64(sync.NsPerStep)/1e6, float64(pf.NsPerStep)/1e6,
-			r.SpeedupVsSync, 100*pf.OverlapFrac)
+		fmt.Fprintf(os.Stderr, "%-16s sync %6.1fms/step  prefetch %6.1fms/step (%.2fx, overlap %2.0f%%)  adaptive %6.1fms/step (%.2fx, overlap %2.0f%%, window %d..%d, %d resizes)\n",
+			v.Name, float64(sync.NsPerStep)/1e6,
+			float64(pf.NsPerStep)/1e6, r.SpeedupVsSync, 100*pf.OverlapFrac,
+			float64(ad.NsPerStep)/1e6, r.AdaptiveSpeedupVsSync, 100*ad.OverlapFrac,
+			ad.WindowMin, ad.WindowMax, ad.Resizes)
 	}
 
 	for _, devs := range contentionDevices {

@@ -47,6 +47,8 @@ func main() {
 		maxRetry  = flag.Int("max-retries", 0, "retries per faulted op (0 = default 3, negative disables)")
 		recov     = flag.Bool("recover", false, "roll back and resume past fatal device faults")
 		prefetch  = flag.Int("prefetch-depth", 0, "async prefetch lookahead (0 = mode default, negative disables)")
+		adaptive  = flag.Bool("adaptive-prefetch", false, "retune each device's prefetch window and byte budget online (implies prefetch; decisions are step-keyed and bit-exact)")
+		retune    = flag.String("retune", "", `mid-run plan retune, "step=N,microbatches=M": before step N, reshape to M microbatches (schedcheck preflight; a rejection prints the counterexample and keeps the current plan)`)
 		linkBW    = flag.Int64("link-bw", 0, "modeled host-link bytes/sec charged to every swap/p2p copy (0 = memcpy cost only)")
 		swapTrace = flag.Bool("swap-trace", false, "print a compute/DMA-lane Gantt of the final step (shows swap-compute overlap)")
 		verify    = flag.Bool("verify", true, "statically verify the execution plan before training (schedcheck preflight; failures print a counterexample)")
@@ -70,8 +72,14 @@ func main() {
 		Mode: mode, Devices: *devices, BatchSize: *batch,
 		Adam: *adam, Seed: *seed,
 		FaultSpec: *faultSpec, MaxRetries: *maxRetry, Recover: *recov,
-		PrefetchDepth: *prefetch, LinkBytesPerSec: *linkBW,
-		NoVerify: !*verify,
+		PrefetchDepth: *prefetch, AdaptivePrefetch: *adaptive,
+		LinkBytesPerSec: *linkBW,
+		NoVerify:        !*verify,
+	}
+	retuneStep, retuneMB, err := parseRetune(*retune)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harmonytrain: %v\n", err)
+		os.Exit(2)
 	}
 	switch *arch {
 	case "lenet":
@@ -147,6 +155,13 @@ func main() {
 	trainStart := time.Now()
 	var stepTL *trace.Trace
 	for s := 0; s < *steps; s++ {
+		if retuneStep > 0 && s == retuneStep {
+			if rerr := tr.Retune(retuneMB, nil); rerr != nil {
+				fmt.Printf("retune before step %d rejected; keeping the current plan:\n%v\n", s, rerr)
+			} else {
+				fmt.Printf("retuned before step %d: %d microbatches\n", s, retuneMB)
+			}
+		}
 		if *swapTrace && s == *steps-1 {
 			stepTL = tr.EnableTrace() // record only the final step
 		}
@@ -194,6 +209,13 @@ func main() {
 			100*float64(st.AsyncDMANanos)/float64(trainWall.Nanoseconds()),
 			float64(trainWall.Nanoseconds())/1e6)
 	}
+	if stats := tr.AdaptStats(); len(stats) > 0 {
+		fmt.Printf("adaptive prefetch: %d controller decisions;", len(tr.AdaptLog()))
+		for _, ws := range stats {
+			fmt.Printf(" dev%d window %d..%d (%d resizes)", ws.Dev, ws.WindowMin, ws.WindowMax, ws.Resizes)
+		}
+		fmt.Println()
+	}
 	if stepTL != nil && len(stepTL.Events) > 0 {
 		fmt.Print("final-step compute/DMA lanes:\n", stepTL.Gantt(100))
 	}
@@ -232,6 +254,36 @@ func faultLabel(ev harmony.FaultEvent) string {
 	}
 	glyph := map[fault.Mode]byte{fault.Transient: 't', fault.Fatal: 'X', fault.Delay: 'd'}[ev.Mode]
 	return fmt.Sprintf("%c: %s %s step %d", glyph, ev.Mode, ev.Op, ev.Step)
+}
+
+// parseRetune parses the -retune spec: "step=N,microbatches=M" means
+// reshape the plan to M microbatches right before step N.
+func parseRetune(s string) (step, microbatches int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("bad -retune field %q (want key=value)", field)
+		}
+		n, cerr := strconv.Atoi(strings.TrimSpace(v))
+		if cerr != nil || n <= 0 {
+			return 0, 0, fmt.Errorf("bad -retune value %q", field)
+		}
+		switch strings.TrimSpace(k) {
+		case "step":
+			step = n
+		case "microbatches":
+			microbatches = n
+		default:
+			return 0, 0, fmt.Errorf("unknown -retune key %q (want step, microbatches)", k)
+		}
+	}
+	if step == 0 || microbatches == 0 {
+		return 0, 0, fmt.Errorf("-retune needs both step and microbatches, got %q", s)
+	}
+	return step, microbatches, nil
 }
 
 func parseWidths(s string) ([]int, error) {

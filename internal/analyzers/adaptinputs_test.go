@@ -1,0 +1,39 @@
+package analyzers
+
+import "testing"
+
+func TestAdaptInputs(t *testing.T) {
+	diags := runFixture(t, "adaptinputs", AdaptInputs)
+	// Pin the three construct classes and the scope line: the
+	// wall-clock measurement helper in the same fixture produces no
+	// finding because its name marks it as measurement, not decision.
+	mustDiag(t, diags, "adaptinputs", `time\.Since feeds adaptation decision`)
+	mustDiag(t, diags, "adaptinputs", `time\.Now feeds adaptation decision`)
+	mustDiag(t, diags, "adaptinputs", `map iteration inside adaptation decision`)
+	mustDiag(t, diags, "adaptinputs", `math/rand global state .* feeds adaptation decision`)
+	if len(diags) != 4 {
+		t.Errorf("want exactly 4 findings (measureProfile must stay clean), got %d:\n%s",
+			len(diags), diagDump(diags))
+	}
+}
+
+// TestAdaptInputsScope confirms the pass runs only where the
+// controller and retuner live (plus its own fixture package).
+func TestAdaptInputsScope(t *testing.T) {
+	for _, p := range []string{
+		"harmony/internal/exec", "harmony/internal/tuner",
+		"exec", "tuner", "adaptinputs",
+	} {
+		if !inAdaptScope(p) {
+			t.Errorf("%s should be in the adaptinputs scope", p)
+		}
+	}
+	for _, p := range []string{
+		"harmony/internal/sched", "harmony/internal/trace",
+		"harmony/cmd/harmonytrain", "executor",
+	} {
+		if inAdaptScope(p) {
+			t.Errorf("%s should be outside the adaptinputs scope", p)
+		}
+	}
+}

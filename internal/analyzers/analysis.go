@@ -25,6 +25,11 @@
 //   - errcheck: error returns from the VM / memory-manager / DMA
 //     surface dropped inside internal/exec (bare-statement calls,
 //     blank assignments, go/defer drops).
+//   - adaptinputs: wall-clock reads, math/rand global state and map
+//     iteration lexically inside adaptation/retune decision functions
+//     (names matching adapt|retune) in internal/exec and
+//     internal/tuner — the tuner may measure wall time, but its
+//     decisions must replay from logged inputs alone.
 //
 // The framework below is a self-contained, offline re-implementation
 // of the golang.org/x/tools/go/analysis surface this module needs
@@ -98,7 +103,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full harmonylint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Lockhold, ClaimDiscipline, Determinism, Hygiene, Errcheck}
+	return []*Analyzer{Lockhold, ClaimDiscipline, Determinism, Hygiene, Errcheck, AdaptInputs}
 }
 
 // ---------------------------------------------------------- directives

@@ -30,7 +30,7 @@ func TestDirectiveHygiene(t *testing.T) {
 func TestAllNames(t *testing.T) {
 	want := map[string]bool{
 		"lockhold": true, "claimdiscipline": true, "determinism": true, "hygiene": true,
-		"errcheck": true,
+		"errcheck": true, "adaptinputs": true,
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,73 @@
+// Package adaptinputs is the fixture for the adaptinputs analyzer.
+// Its import path places it inside the analyzer's scope, and the
+// function names draw the line the pass enforces: functions named
+// like decisions (adapt*/retune*/...) may not read the wall clock,
+// touch math/rand global state or range a map; measurement helpers
+// with other names may.
+package adaptinputs
+
+import (
+	"math/rand"
+	"time"
+)
+
+type signals struct {
+	covered, uncovered int
+	wantPeak           int64
+}
+
+type decision struct {
+	step, dev int
+	what      string
+}
+
+// adaptByWallClock is the violation the rule exists for: a window
+// decision keyed to elapsed time diverges across runs and machines.
+func adaptByWallClock(window int, started time.Time) int {
+	if time.Since(started) > time.Second { // want "time.Since feeds adaptation decision adaptByWallClock"
+		return window + 1
+	}
+	if time.Now().UnixNano()%2 == 0 { // want "time.Now feeds adaptation decision adaptByWallClock"
+		return window - 1
+	}
+	return window
+}
+
+// retunePickByMapRange folds a retune decision over a ranged map, so
+// the chosen candidate depends on Go's per-run range order.
+func retunePickByMapRange(scores map[string]float64) string {
+	best, bestScore := "", -1.0
+	for name, s := range scores { // want "map iteration inside adaptation decision retunePickByMapRange"
+		if s > bestScore {
+			best, bestScore = name, s
+		}
+	}
+	return best
+}
+
+// adaptJitter perturbs a decision with the global rand source:
+// interleaving-ordered and unseedable per component.
+func adaptJitter(window int) int {
+	return window + rand.Intn(2) // want "math/rand global state \\(rand.Intn\\) feeds adaptation decision adaptJitter"
+}
+
+// adaptStepKeyed is the sanctioned shape: a pure function of the step
+// counter and program-order signals, with map lookups but no map
+// ranges, and an explicit *rand.Rand if randomness were ever needed.
+func adaptStepKeyed(step int, sig signals, seen map[int]bool, budget int64) []decision {
+	var out []decision
+	if sig.wantPeak > budget && !seen[step] {
+		out = append(out, decision{step: step, dev: 0, what: "window"})
+	}
+	if sig.uncovered > 0 && sig.wantPeak*2 <= budget {
+		out = append(out, decision{step: step, dev: 0, what: "budget"})
+	}
+	return out
+}
+
+// measureProfile reads the wall clock but is not a decision function
+// — measurement is exactly what the tuner is for. Out of scope by
+// name, so no finding.
+func measureProfile(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}

@@ -3,7 +3,6 @@ package exec
 import (
 	"bytes"
 	"fmt"
-	"sync"
 	"time"
 
 	"harmony/internal/fault"
@@ -78,6 +77,17 @@ type TrainerConfig struct {
 	// cost only their memcpy time.
 	LinkBytesPerSec int64
 
+	// AdaptivePrefetch retunes each device's prefetch window and byte
+	// budget online between iterations (DESIGN.md §13), from
+	// deterministic per-step coverage counters keyed to the step
+	// counter — never wall time — so adaptive runs stay bit-identical
+	// and emit identical decision logs across repeats and executors.
+	// Shorthand for Options.AdaptivePrefetch; implies prefetch.
+	// PrefetchDepth is the starting window, clamped to the plan's
+	// [WindowMin, WindowMax]. The serial reference path still never
+	// prefetches, so adaptive+Serial is the static serial baseline.
+	AdaptivePrefetch bool
+
 	// Injector, when non-nil, fault-injects kernel launches,
 	// swap-in/out and p2p copies, and collective rendezvous (see
 	// internal/fault for the spec grammar). Transient faults are
@@ -120,16 +130,23 @@ type Trainer struct {
 	// woven in at their rendezvous anchors; parties[i] is how many
 	// device workers meet at collective i. Built once at NewTrainer,
 	// checked for liveness once at the first Step.
-	streams [][]streamEntry
-	parties []int
-	valOnce sync.Once
-	valErr  error
+	streams   [][]streamEntry
+	parties   []int
+	validated bool
+	valErr    error
 
 	// pf, when non-nil, is the schedule-driven prefetcher the device
 	// workers call before each kernel; rec, when non-nil, records
 	// wall-clock compute/DMA spans (EnableTrace).
 	pf  *prefetcher
 	rec *runRecorder
+
+	// Adaptive-prefetch observability: the full decision log (kept
+	// across retunes and recoveries) and per-virtual-device window
+	// extremes/resize counts (reset when a retune re-arms the
+	// controllers). Written only at step boundaries.
+	adaptLog   []AdaptDecision
+	adaptStats []AdaptWindowStats
 
 	// Recovery state. Virtual devices are schedule constructs; devMap
 	// binds virtual device d to the physical device devMap[d] whose
@@ -195,6 +212,9 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		opts = *cfg.Options
 		opts.Mode = cfg.Mode
 	}
+	if cfg.AdaptivePrefetch {
+		opts.AdaptivePrefetch = true
+	}
 	s, err := sched.Build(g, opts, cfg.Devices)
 	if err != nil {
 		return nil, err
@@ -204,10 +224,7 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		return nil, err
 	}
 	if !cfg.NoVerify {
-		if err := schedcheck.Check(s, schedcheck.Topology{
-			Devices:     cfg.Devices,
-			DeviceBytes: cfg.DeviceBytes,
-		}).Err(); err != nil {
+		if err := schedcheck.Check(s, planTopology(cfg, s)).Err(); err != nil {
 			return nil, fmt.Errorf("exec: plan rejected by preflight verification (-verify=false or NoVerify to skip):\n%w", err)
 		}
 	}
@@ -230,6 +247,9 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 	}
 	if d := tr.prefetchDepth(); d > 0 {
 		tr.pf = &prefetcher{tr: tr, depth: d, clean: 1}
+		if s.Opts.AdaptivePrefetch {
+			tr.armAdaptive()
+		}
 	}
 	tr.configureVM()
 	// Persistent state: identical weights in every replica, zero
@@ -271,7 +291,7 @@ func (tr *Trainer) prefetchDepth() int {
 
 // configureVM arms the (possibly rebuilt) VM with fault injection,
 // link modeling, tracing and — when prefetch is on — the async DMA
-// engine. Shared by NewTrainer and recovery.
+// engine. Shared by NewTrainer, recovery and retune.
 func (tr *Trainer) configureVM() {
 	tr.vm.SetFaultInjection(tr.cfg.Injector, tr.maxRetries(), func() int { return tr.step })
 	tr.vm.SetLinkBandwidth(tr.cfg.LinkBytesPerSec)
@@ -280,7 +300,95 @@ func (tr *Trainer) configureVM() {
 	}
 	if tr.pf != nil {
 		tr.vm.StartEngine(0) // default budget: half the device capacity
+		tr.pf.applyBudgets() // adaptive: align shard budgets with the controllers
 	}
+}
+
+// planTopology is the schedcheck preflight topology for a plan.
+// Adaptive plans verify residency against the maximum admissible
+// prefetch budget — the engine cap the controller can grow to — not
+// the tuned starting point, so no reachable controller state can
+// exceed what was verified.
+func planTopology(cfg TrainerConfig, s *sched.Schedule) schedcheck.Topology {
+	topo := schedcheck.Topology{Devices: cfg.Devices, DeviceBytes: cfg.DeviceBytes}
+	if s.Opts.AdaptivePrefetch {
+		topo.AdaptiveBudgetMaxBytes = cfg.DeviceBytes / 2
+	}
+	return topo
+}
+
+// armAdaptive attaches one controller per virtual device to the
+// prefetcher, starting every window at the static depth (so an
+// adaptive run's first step matches a static run's) with half the
+// engine budget cap. Called at construction and again by Retune when
+// the adopted plan keeps adaptation on.
+func (tr *Trainer) armAdaptive() {
+	o := tr.s.Opts
+	bMax := tr.cfg.DeviceBytes / 2
+	tr.pf.devs = make([]*pfDev, tr.s.NGPUs)
+	tr.adaptStats = make([]AdaptWindowStats, tr.s.NGPUs)
+	for d := range tr.pf.devs {
+		ctl := newAdaptController(tr.pf.depth, o.WindowMin, o.WindowMax, bMax)
+		tr.pf.devs[d] = &pfDev{ctl: ctl, seen: make(map[int]bool)}
+		tr.adaptStats[d] = AdaptWindowStats{Dev: d, WindowMin: ctl.window, WindowMax: ctl.window}
+	}
+}
+
+// AdaptWindowStats summarizes one virtual device's adaptive window
+// trajectory: the extreme window sizes observed and how many resize
+// decisions the controller took.
+type AdaptWindowStats struct {
+	Dev                  int
+	WindowMin, WindowMax int
+	Resizes              int
+}
+
+// AdaptLog returns a copy of the adaptive-prefetch decision log. Two
+// seeded runs of the same config produce deep-equal logs — the
+// decision inputs are program-order coverage counters keyed to the
+// step counter, never timing (DESIGN.md §13).
+func (tr *Trainer) AdaptLog() []AdaptDecision {
+	return append([]AdaptDecision(nil), tr.adaptLog...)
+}
+
+// AdaptStats returns per-virtual-device window extremes and resize
+// counts; nil when the plan is not adaptive.
+func (tr *Trainer) AdaptStats() []AdaptWindowStats {
+	return append([]AdaptWindowStats(nil), tr.adaptStats...)
+}
+
+// adaptTick runs the per-device controllers on a completed step's
+// signals: it folds the decisions into the log and window stats and
+// stamps them on the trace's adapt lane. Called only on runStep's
+// success path, after WaitIdle has drained the DMA engine and the
+// step's device workers have joined — the quiescent point where the
+// per-device signals are safely readable and budget retunes cannot
+// race in-flight admissions.
+func (tr *Trainer) adaptTick() {
+	if tr.pf == nil {
+		return
+	}
+	decs := tr.pf.endStep(tr.step)
+	if len(decs) == 0 {
+		return
+	}
+	for _, dec := range decs {
+		if dec.What == "window" {
+			st := &tr.adaptStats[dec.Dev]
+			st.Resizes++
+			if w := int(dec.To); w < st.WindowMin {
+				st.WindowMin = w
+			}
+			if w := int(dec.To); w > st.WindowMax {
+				st.WindowMax = w
+			}
+		}
+		if tr.rec != nil {
+			now := tr.vm.clk.Now()
+			tr.rec.add(tr.pdev(dec.Dev), trace.Adapt, dec.String(), now, now)
+		}
+	}
+	tr.adaptLog = append(tr.adaptLog, decs...)
 }
 
 // maxRetries resolves the configured retry bound: 0 means the default
@@ -417,10 +525,13 @@ func (tr *Trainer) Step(inputs [][][]float32, labels [][][]int) (float32, error)
 	}
 	// Prove the woven streams can complete before touching any weight:
 	// a cyclic or mis-anchored schedule is reported as a deadlock
-	// instead of hanging the device workers.
-	tr.valOnce.Do(func() {
+	// instead of hanging the device workers. Re-armed (not once-only)
+	// because Retune swaps the streams mid-run; Step is documented
+	// non-concurrent, so a plain flag suffices.
+	if !tr.validated {
 		tr.valErr = validateStreams(tr.g.Tasks, tr.streams, tr.parties)
-	})
+		tr.validated = true
+	}
 	if tr.valErr != nil {
 		return 0, tr.valErr
 	}
@@ -466,6 +577,12 @@ func (tr *Trainer) runStep(inputs [][][]float32, labels [][][]int) (float32, err
 	}
 	tr.step++
 
+	if tr.pf != nil {
+		// Reset the adaptive coverage counters — a failed attempt's
+		// partial signals are discarded here, so recovery re-runs
+		// never skew a controller decision.
+		tr.pf.beginStep()
+	}
 	ex := newExecutor(tr, labels)
 	var err error
 	if tr.cfg.Serial {
@@ -483,6 +600,7 @@ func (tr *Trainer) runStep(inputs [][][]float32, labels [][][]int) (float32, err
 	if err != nil {
 		return 0, err
 	}
+	tr.adaptTick()
 
 	// Reduce losses in task-ID order regardless of which executor ran
 	// (and in which interleaving), so both report bit-identical means.
@@ -559,7 +677,7 @@ func (tr *Trainer) recoverFrom(dev int) error {
 		tr.devMap[d] = survivors[next%len(survivors)]
 		next++
 	}
-	if err := tr.checkPinBudget(); err != nil {
+	if err := tr.checkPinBudget(tr.s); err != nil {
 		return err
 	}
 
@@ -587,17 +705,19 @@ func (tr *Trainer) recoverFrom(dev int) error {
 	return nil
 }
 
-// checkPinBudget verifies the re-bound assignment is feasible: when
-// several virtual devices share one physical device their worst-case
-// concurrently-pinned bytes add up. Per virtual device that is the
-// largest single-task pin set (inputs+outputs+workspace — one task in
-// flight per stream); during a collective all participants park, so
-// its demand is the sum of the participating replicas' buffers bound
-// to the device. Conservative by design: it never passes a binding
-// the VM could fail on.
-func (tr *Trainer) checkPinBudget() error {
+// checkPinBudget verifies the given schedule is feasible under the
+// current device binding: when several virtual devices share one
+// physical device their worst-case concurrently-pinned bytes add up.
+// Per virtual device that is the largest single-task pin set
+// (inputs+outputs+workspace — one task in flight per stream); during
+// a collective all participants park, so its demand is the sum of the
+// participating replicas' buffers bound to the device. Conservative
+// by design: it never passes a binding the VM could fail on. Recovery
+// checks the live schedule against a shrunken binding; Retune checks
+// a candidate schedule before adoption.
+func (tr *Trainer) checkPinBudget(s *sched.Schedule) error {
 	maxPin := make([]int64, len(tr.devMap))
-	for d, q := range tr.s.Queues {
+	for d, q := range s.Queues {
 		for _, t := range q {
 			var pin int64
 			for _, in := range t.Inputs {
@@ -616,7 +736,7 @@ func (tr *Trainer) checkPinBudget() error {
 	for d, p := range tr.devMap {
 		need[p] += maxPin[d]
 	}
-	for _, c := range tr.s.Collectives {
+	for _, c := range s.Collectives {
 		coll := make([]int64, len(tr.devMap))
 		for i, in := range c.Inputs {
 			coll[tr.pdev(i)] += in.Bytes
@@ -632,6 +752,151 @@ func (tr *Trainer) checkPinBudget() error {
 			return fmt.Errorf("exec: pin budget exceeded on surviving gpu%d: need %d bytes, capacity %d",
 				p, b, tr.cfg.DeviceBytes)
 		}
+	}
+	return nil
+}
+
+// RetuneRequest describes a mid-run plan change for Trainer.Retune.
+// Zero/nil fields keep the current value. A microbatch reshape must
+// preserve the per-replica batch (MicrobatchSize × Microbatches), so
+// the Step input contract is unchanged apart from the slicing.
+type RetuneRequest struct {
+	MicrobatchSize int
+	Microbatches   int
+	// Options replaces the schedule's option set (Mode is forced to
+	// the trainer's). nil keeps the current options.
+	Options *sched.Options
+}
+
+// Retune swaps the trainer's execution plan between iterations: it
+// rebuilds the schedule (and, for a microbatch reshape or memory
+// policy change, the task graph and VM) for the requested
+// configuration, runs the full schedcheck preflight on the candidate
+// plan, and adopts it only if verification passes. An infeasible
+// retune returns the verifier's Gantt counterexample and leaves the
+// running plan untouched — the next Step continues exactly as before.
+// Training state survives adoption: a heavy retune round-trips
+// weights, optimizer state and the step counter through the
+// microbatch-independent checkpoint format.
+//
+// Call only between Steps (same non-concurrency contract as Step).
+func (tr *Trainer) Retune(req RetuneRequest) error {
+	mbs, mbc := tr.cfg.MicrobatchSize, tr.cfg.Microbatches
+	if req.MicrobatchSize > 0 {
+		mbs = req.MicrobatchSize
+	}
+	if req.Microbatches > 0 {
+		mbc = req.Microbatches
+	}
+	if mbs*mbc != tr.cfg.MicrobatchSize*tr.cfg.Microbatches {
+		return fmt.Errorf("exec: retune must preserve the per-replica batch: %d×%d != %d×%d",
+			mbs, mbc, tr.cfg.MicrobatchSize, tr.cfg.Microbatches)
+	}
+	opts := tr.s.Opts
+	if req.Options != nil {
+		opts = *req.Options
+		opts.Mode = tr.cfg.Mode
+	}
+	graphChanged := mbs != tr.cfg.MicrobatchSize || mbc != tr.cfg.Microbatches
+	if !graphChanged && opts == tr.s.Opts {
+		return nil
+	}
+
+	// Build and verify the candidate plan without touching the live
+	// one: any failure below this point leaves the trainer unchanged.
+	g2 := tr.g
+	if graphChanged {
+		var err error
+		g2, err = graph.Build(graph.Config{
+			Model:          kernelModel(tr.layers, tr.cfg.Optimizer == Adam),
+			MicrobatchSize: mbs,
+			Microbatches:   mbc,
+			Replicas:       tr.g.Cfg.Replicas,
+		})
+		if err != nil {
+			return fmt.Errorf("exec: retune: %w", err)
+		}
+	}
+	s2, err := sched.Build(g2, opts, tr.cfg.Devices)
+	if err != nil {
+		return fmt.Errorf("exec: retune: %w", err)
+	}
+	streams2, parties2, err := buildStreams(s2)
+	if err != nil {
+		return fmt.Errorf("exec: retune: %w", err)
+	}
+	cfg2 := tr.cfg
+	cfg2.MicrobatchSize, cfg2.Microbatches = mbs, mbc
+	if !tr.cfg.NoVerify {
+		if verr := schedcheck.Check(s2, planTopology(cfg2, s2)).Err(); verr != nil {
+			return fmt.Errorf("exec: retune rejected by preflight verification (plan unchanged):\n%w", verr)
+		}
+	}
+	if err := validateStreams(g2.Tasks, streams2, parties2); err != nil {
+		return fmt.Errorf("exec: retune: %w", err)
+	}
+	if err := tr.checkPinBudget(s2); err != nil {
+		return fmt.Errorf("exec: retune: %w", err)
+	}
+
+	// A graph or memory-policy change needs a fresh VM; carry the
+	// training state across in the checkpoint format (captured while
+	// the old graph's tensor handles are still live).
+	heavy := graphChanged || s2.MemPolicy != tr.s.MemPolicy
+	var snap []byte
+	if heavy {
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			return fmt.Errorf("exec: retune: %w", err)
+		}
+		snap = buf.Bytes()
+	}
+
+	// ---- adopt ----
+	tr.cfg = cfg2
+	if req.Options != nil {
+		o := opts
+		tr.cfg.Options = &o
+	}
+	tr.g, tr.s, tr.streams, tr.parties = g2, s2, streams2, parties2
+	tr.validated, tr.valErr = true, nil // validateStreams just passed
+	if heavy {
+		tr.vm.Close() // step boundary: WaitIdle already drained in-flight DMAs
+		tr.statsBase = tr.statsBase.add(tr.vm.StatsSnapshot())
+		tr.vm = NewVM(tr.cfg.Devices, tr.cfg.DeviceBytes, s2.MemPolicy)
+	}
+	tr.pf, tr.adaptStats = nil, nil
+	if d := tr.prefetchDepth(); d > 0 {
+		tr.pf = &prefetcher{tr: tr, depth: d, clean: 1}
+		if s2.Opts.AdaptivePrefetch {
+			tr.armAdaptive()
+		}
+	}
+	if heavy {
+		tr.configureVM()
+		for r := 0; r < tr.g.Cfg.Replicas; r++ {
+			for l := range tr.layers {
+				tr.vm.HostAlloc(tr.g.W[r][l])
+				tr.vm.HostAlloc(tr.g.DW[r][l])
+				if tr.g.K[r][l].Bytes > 0 {
+					tr.vm.HostAlloc(tr.g.K[r][l])
+				}
+			}
+		}
+		if err := tr.Load(bytes.NewReader(snap)); err != nil {
+			return fmt.Errorf("exec: retune state restore: %w", err)
+		}
+		if tr.cfg.Recover {
+			if err := tr.snapshot(); err != nil {
+				return err
+			}
+		}
+	} else if tr.pf != nil {
+		tr.vm.StartEngine(0) // idempotent; arms the engine if the old plan never did
+		for p := 0; p < tr.cfg.Devices; p++ {
+			tr.vm.SetPrefetchBudget(p, 0) // 0 clamps back to the engine cap
+		}
+		tr.pf.applyBudgets()
 	}
 	return nil
 }

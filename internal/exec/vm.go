@@ -135,9 +135,15 @@ type vmShard struct {
 	lru     lruList
 	clock   int64
 	pfBytes int64 // prefetched bytes in flight or resident-unconsumed
-	stats   VMStats
-	queue   []dmaReq
-	work    *sync.Cond // signaled when queue grows or the VM closes
+	// budget caps pfBytes for this shard. Seeded from the engine-wide
+	// cap at StartEngine and retuned between steps by the adaptive
+	// prefetch controller (SetPrefetchBudget); never exceeds
+	// VM.budget, so static residency verification can use the
+	// engine-wide cap as the worst case. Guarded by mu.
+	budget int64
+	stats  VMStats
+	queue  []dmaReq
+	work   *sync.Cond // signaled when queue grows or the VM closes
 	// syncOuts counts synchronous write-backs (eviction or Host
 	// stalls) on this device; cleanSeen is its value at the last
 	// CleanAhead batch. Clean-ahead only arms after a new stall, so

@@ -34,9 +34,13 @@ const (
 	// swap engine (exec.VM.EnsureAsync); kept distinct from SwapIn so
 	// overlap with the compute lane is visible at a glance.
 	Prefetch
+	// Adapt marks an adaptive-prefetch controller decision (window or
+	// budget resize, zero-width span at the step boundary where it
+	// was taken; the label says which knob moved and why).
+	Adapt
 )
 
-var laneNames = [...]string{"compute", "swap-in", "swap-out", "p2p", "fault", "retry", "prefetch"}
+var laneNames = [...]string{"compute", "swap-in", "swap-out", "p2p", "fault", "retry", "prefetch", "adapt"}
 
 func (l Lane) String() string {
 	if int(l) < len(laneNames) {

@@ -1,0 +1,168 @@
+package tuner
+
+import (
+	"fmt"
+	"strings"
+
+	"harmony/internal/graph"
+	"harmony/internal/sched"
+	"harmony/internal/schedcheck"
+)
+
+// Profile is the bundle of online signals a running trainer measures
+// for mid-run retuning — the "online tuning" the paper's §4 leaves
+// open. The tuner sits outside the deterministic core, so these
+// fractions may come from wall-clock measurement; the decision
+// functions consuming them must nevertheless be pure functions of
+// their arguments (the adaptinputs analyzer enforces that no
+// wall-clock read or map iteration feeds a retune decision directly).
+type Profile struct {
+	// StallFrac is the fraction of step wall time spent on demand
+	// swaps (synchronous swap-ins on the critical path).
+	StallFrac float64
+	// OverlapFrac is async DMA busy time over step wall time
+	// (exec.VMStats.AsyncDMANanos / step nanos).
+	OverlapFrac float64
+	// HitRate is prefetch hits over prefetches issued.
+	HitRate float64
+	// SwapGBPerIter is demand swap volume (in+out) per iteration.
+	SwapGBPerIter float64
+}
+
+// Retuner proposes mid-run plan changes from measured signals,
+// admitting a candidate only after it passes the full schedcheck
+// preflight against the box. Rejections carry the verifier's Gantt
+// counterexample; the caller's running plan is never touched (feed
+// the accepted candidate to exec.Trainer.Retune, which preflights
+// again against the live device binding before adoption).
+type Retuner struct {
+	Cfg Config
+}
+
+// Propose picks the first preflight-feasible plan change for the
+// measured profile. It returns an error when the profile suggests no
+// move from cur, or when every suggested move fails static
+// verification — in that case the error aggregates each candidate's
+// counterexample and the current plan should be kept.
+func (rt *Retuner) Propose(cur Candidate, prof Profile) (Candidate, error) {
+	if err := rt.Cfg.Validate(); err != nil {
+		return Candidate{}, err
+	}
+	if cur.MicrobatchSize <= 0 || cur.Microbatches <= 0 {
+		return Candidate{}, fmt.Errorf("tuner: current candidate %s is malformed", cur)
+	}
+	moves := retuneMoves(cur, prof, rt.Cfg.Mode)
+	if len(moves) == 0 {
+		return Candidate{}, fmt.Errorf("tuner: profile suggests no retune from %s (stall %.2f, overlap %.2f, hit %.2f)",
+			cur, prof.StallFrac, prof.OverlapFrac, prof.HitRate)
+	}
+	var rejections []string
+	for _, c := range moves {
+		if err := rt.Preflight(c); err != nil {
+			rejections = append(rejections, fmt.Sprintf("%s rejected:\n%v", c, err))
+			continue
+		}
+		return c, nil
+	}
+	return Candidate{}, fmt.Errorf("tuner: every retune candidate failed preflight; keeping the current plan:\n%s",
+		strings.Join(rejections, "\n"))
+}
+
+// retuneMoves ranks candidate plan changes for a measured profile, in
+// preference order. Every move preserves the per-replica batch
+// (MicrobatchSize × Microbatches), so Step's input contract is
+// unchanged. Pure function of its arguments: no clocks, no map
+// iteration, no randomness — retune decisions must be replayable from
+// the logged profile alone.
+func retuneMoves(cur Candidate, prof Profile, mode sched.Mode) []Candidate {
+	batch := cur.MicrobatchSize * cur.Microbatches
+	var out []Candidate
+	add := func(c Candidate) {
+		if c.MicrobatchSize <= 0 || c.Microbatches <= 0 ||
+			c.MicrobatchSize*c.Microbatches != batch || c == cur {
+			return
+		}
+		for _, e := range out {
+			if e == c {
+				return
+			}
+		}
+		out = append(out, c)
+	}
+	// Little DMA/compute overlap with prefetch off: turn it on before
+	// touching anything structural.
+	if !cur.Prefetch && prof.OverlapFrac < 0.25 {
+		c := cur
+		c.Prefetch = true
+		add(c)
+	}
+	// Heavy demand stalls: full grouping swaps each layer's weights
+	// once per iteration instead of once per wave.
+	if prof.StallFrac > 0.25 && cur.GroupSize != 0 {
+		c := cur
+		c.GroupSize = 0
+		c.Interleave = false
+		add(c)
+	}
+	// Poor prefetch coverage: finer microbatches shrink each task's
+	// working set, giving the lookahead window more distinct, smaller
+	// targets.
+	if cur.Prefetch && prof.HitRate < 0.5 && cur.MicrobatchSize%2 == 0 {
+		c := cur
+		c.MicrobatchSize /= 2
+		c.Microbatches *= 2
+		add(c)
+	}
+	// Swap-bound with good coverage: coarser microbatches amortize
+	// per-task activation traffic.
+	if prof.SwapGBPerIter > 0 && prof.StallFrac > 0.5 && cur.Microbatches%2 == 0 {
+		c := cur
+		c.MicrobatchSize *= 2
+		c.Microbatches /= 2
+		add(c)
+	}
+	// DP only: let the executor run past update heads blocked on
+	// their AllReduce instead of stalling the stream.
+	if mode == sched.HarmonyDP && !cur.Defer && prof.StallFrac > 0.25 {
+		c := cur
+		c.Defer = true
+		add(c)
+	}
+	return out
+}
+
+// Preflight builds a candidate's graph and schedule and statically
+// verifies the plan against the box (schedcheck: liveness, residency,
+// swap-volume agreement, DMA claim machine). A non-nil error is the
+// verifier's report, Gantt counterexample included.
+func (rt *Retuner) Preflight(c Candidate) error {
+	gpus := rt.Cfg.Box.NumGPUs
+	replicas := gpus
+	mbCount := c.Microbatches
+	if rt.Cfg.Mode.IsPipeline() {
+		replicas = 1
+		mbCount = c.Microbatches * gpus
+	}
+	g, err := graph.Build(graph.Config{
+		Model:          rt.Cfg.Model,
+		MicrobatchSize: c.MicrobatchSize,
+		Microbatches:   mbCount,
+		Replicas:       replicas,
+	})
+	if err != nil {
+		return err
+	}
+	opts := sched.DefaultOptions(rt.Cfg.Mode)
+	opts.GroupSize = c.GroupSize
+	opts.Prefetch = c.Prefetch
+	opts.DeferBlockedUpdates = c.Defer
+	opts.WaveInterleave = c.Interleave
+	s, err := sched.Build(g, opts, gpus)
+	if err != nil {
+		return err
+	}
+	return schedcheck.Check(s, schedcheck.Topology{
+		Devices:     gpus,
+		DeviceBytes: rt.Cfg.Box.GPUMemBytes,
+	}).Err()
+}

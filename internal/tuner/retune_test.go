@@ -1,0 +1,171 @@
+package tuner
+
+import (
+	"strings"
+	"testing"
+
+	"harmony/internal/hw"
+	"harmony/internal/sched"
+)
+
+func TestRetuneMovesPreserveBatch(t *testing.T) {
+	cur := Candidate{MicrobatchSize: 4, Microbatches: 4, GroupSize: 2, Prefetch: false}
+	prof := Profile{StallFrac: 0.6, OverlapFrac: 0.1, HitRate: 0.2, SwapGBPerIter: 3}
+	for _, mode := range []sched.Mode{sched.HarmonyDP, sched.HarmonyPP} {
+		moves := retuneMoves(cur, prof, mode)
+		if len(moves) == 0 {
+			t.Fatalf("%v: stressed profile produced no moves", mode)
+		}
+		seen := map[Candidate]bool{}
+		for _, c := range moves {
+			if c.MicrobatchSize*c.Microbatches != 16 {
+				t.Fatalf("%v: move %s does not preserve the batch", mode, c)
+			}
+			if c == cur {
+				t.Fatalf("%v: move equals the current plan", mode)
+			}
+			if seen[c] {
+				t.Fatalf("%v: duplicate move %s", mode, c)
+			}
+			seen[c] = true
+			if c.Defer && mode != sched.HarmonyDP {
+				t.Fatalf("%v: defer proposed outside harmony-dp", mode)
+			}
+		}
+	}
+}
+
+func TestRetuneMovesHealthyProfileIsQuiet(t *testing.T) {
+	cur := Candidate{MicrobatchSize: 2, Microbatches: 8, Prefetch: true}
+	prof := Profile{StallFrac: 0.05, OverlapFrac: 0.8, HitRate: 0.95}
+	if moves := retuneMoves(cur, prof, sched.HarmonyDP); len(moves) != 0 {
+		t.Fatalf("healthy profile proposed %d moves, want none", len(moves))
+	}
+}
+
+func TestRetuneMovesDeterministic(t *testing.T) {
+	cur := Candidate{MicrobatchSize: 4, Microbatches: 4, GroupSize: 2}
+	prof := Profile{StallFrac: 0.6, OverlapFrac: 0.1, HitRate: 0.2, SwapGBPerIter: 3}
+	a := retuneMoves(cur, prof, sched.HarmonyDP)
+	b := retuneMoves(cur, prof, sched.HarmonyDP)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("move %d differs across identical calls: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProposeAcceptsVerifiedMove(t *testing.T) {
+	rt := &Retuner{Cfg: tunerConfig(sched.HarmonyPP, 4)}
+	cur := Candidate{MicrobatchSize: 2, Microbatches: 2, GroupSize: 2, Prefetch: false}
+	prof := Profile{StallFrac: 0.6, OverlapFrac: 0.1, HitRate: 0.3, SwapGBPerIter: 2}
+	got, err := rt.Propose(cur, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == cur {
+		t.Fatal("Propose returned the current plan")
+	}
+	if got.MicrobatchSize*got.Microbatches != 4 {
+		t.Fatalf("accepted candidate %s does not preserve the batch", got)
+	}
+	// The accepted candidate must itself pass the preflight it was
+	// admitted by — re-verify from scratch.
+	if err := rt.Preflight(got); err != nil {
+		t.Fatalf("accepted candidate fails re-preflight: %v", err)
+	}
+}
+
+func TestProposeNoMoveErrors(t *testing.T) {
+	rt := &Retuner{Cfg: tunerConfig(sched.HarmonyDP, 4)}
+	cur := Candidate{MicrobatchSize: 2, Microbatches: 2, Prefetch: true}
+	_, err := rt.Propose(cur, Profile{StallFrac: 0.05, OverlapFrac: 0.8, HitRate: 0.95})
+	if err == nil || !strings.Contains(err.Error(), "no retune") {
+		t.Fatalf("want no-retune error, got %v", err)
+	}
+}
+
+func TestProposeRejectionCarriesCounterexample(t *testing.T) {
+	// A box too small for any plan: every move must fail preflight and
+	// the aggregated error must carry the verifier's Gantt trace.
+	cfg := tunerConfig(sched.HarmonyPP, 4)
+	cfg.Box.GPUMemBytes = 1 << 10
+	rt := &Retuner{Cfg: cfg}
+	cur := Candidate{MicrobatchSize: 2, Microbatches: 2, GroupSize: 2}
+	_, err := rt.Propose(cur, Profile{StallFrac: 0.9, OverlapFrac: 0.05, HitRate: 0.1, SwapGBPerIter: 9})
+	if err == nil {
+		t.Fatal("undersized box accepted a retune")
+	}
+	if !strings.Contains(err.Error(), "keeping the current plan") {
+		t.Fatalf("rejection error missing keep-plan guidance: %v", err)
+	}
+	if !strings.Contains(err.Error(), "counterexample") && !strings.Contains(err.Error(), "schedcheck") {
+		t.Fatalf("rejection error missing verifier evidence: %v", err)
+	}
+}
+
+// FuzzRetune drives Propose with arbitrary profiles and plan points:
+// whatever the inputs, it must never panic, every accepted retune must
+// pass a from-scratch schedcheck preflight and preserve the batch
+// product, and every rejection must explain itself.
+func FuzzRetune(f *testing.F) {
+	f.Add(int64(0.6*1e3), int64(0.1*1e3), int64(0.2*1e3), int64(3), 2, 2, 2, false, false, false, true, uint8(2))
+	f.Add(int64(900), int64(50), int64(100), int64(9), 4, 4, 0, true, true, true, false, uint8(3))
+	f.Add(int64(-5), int64(2000), int64(-1), int64(0), 1, 8, 3, false, true, false, true, uint8(1))
+	f.Fuzz(func(t *testing.T, stallM, overlapM, hitM, swapGB int64,
+		mbs, mbc, group int, pf, defer_, il, pipeline bool, gpus uint8) {
+		// Clamp structural inputs to the valid domain — the fuzzer
+		// explores profiles and plan points, not Config validation.
+		mbs = 1 + abs(int64(mbs))%8
+		mbc = 1 + abs(int64(mbc))%8
+		group = abs(int64(group)) % 4
+		g := 1 + int(gpus%3)
+
+		mode := sched.HarmonyDP
+		if pipeline {
+			mode = sched.HarmonyPP
+		}
+		cfg := tunerConfig(mode, mbs*mbc)
+		cfg.Box = hw.Commodity1080TiBox(g)
+		cfg.Box.GPUMemBytes = cfg.Model.PersistentBytes() / 2
+		rt := &Retuner{Cfg: cfg}
+
+		cur := Candidate{
+			MicrobatchSize: mbs, Microbatches: mbc, GroupSize: group,
+			Prefetch: pf, Defer: defer_ && mode == sched.HarmonyDP, Interleave: il,
+		}
+		prof := Profile{
+			StallFrac:     float64(stallM) / 1e3,
+			OverlapFrac:   float64(overlapM) / 1e3,
+			HitRate:       float64(hitM) / 1e3,
+			SwapGBPerIter: float64(swapGB),
+		}
+
+		got, err := rt.Propose(cur, prof)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("rejection with empty error")
+			}
+			return
+		}
+		if got.MicrobatchSize*got.Microbatches != mbs*mbc {
+			t.Fatalf("accepted %s breaks batch product %d", got, mbs*mbc)
+		}
+		if got == cur {
+			t.Fatalf("accepted candidate equals the current plan %s", cur)
+		}
+		if err := rt.Preflight(got); err != nil {
+			t.Fatalf("accepted candidate %s fails re-preflight: %v", got, err)
+		}
+	})
+}
+
+func abs(v int64) int {
+	if v < 0 {
+		v = -v
+	}
+	return int(v % (1 << 30))
+}
