@@ -60,12 +60,15 @@ bench-smoke:
 # fail if (a) the swap-bound config's prefetch speedup dropped >20%
 # against the checked-in baseline, (b) the adaptive controller hides
 # >5 points less DMA overlap than the static window on the same row,
-# or (c) the sharded Ensure hot path stopped scaling — ns/op growing
+# (c) the sharded Ensure hot path stopped scaling — ns/op growing
 # >15% from 16 to 64 devices means a cross-device lock is back on the
-# claim path. CI runs this on every push.
+# claim path — or (d) chunked collectives on the dp4-comm row lost
+# their edge: >10% slower than the monolithic rendezvous in the same
+# report, or comm overlap >5 points below the checked-in baseline.
+# CI runs this on every push.
 bench-gate:
 	$(GO) run ./cmd/benchtrainer -steps 4 -out /tmp/BENCH_trainer.new.json
-	$(GO) run ./cmd/benchgate -old BENCH_trainer.json -new /tmp/BENCH_trainer.new.json -row dp1-hostlink -max-regress 0.20 -max-scale-degrade 0.15
+	$(GO) run ./cmd/benchgate -old BENCH_trainer.json -new /tmp/BENCH_trainer.new.json -row dp1-hostlink -max-regress 0.20 -max-scale-degrade 0.15 -max-comm-overlap-drop 0.05 -max-comm-slowdown 0.10
 
 # Static plan verification gate (part of `make check`): every clean
 # plan shape must PASS, and each seeded plan bug — rendezvous cycle,

@@ -13,7 +13,13 @@
 //   - contention scaling of the sharded hot path: the 64-device
 //     Ensure ns/op in the fresh report must stay within -max-scale-degrade
 //     of the 16-device point (flat curve = no cross-device lock), and
-//     within -max-contend-regress of the baseline's 64-device point.
+//     within -max-contend-regress of the baseline's 64-device point;
+//   - the chunked-collective overlap on the dp4-comm row: the fresh
+//     report's chunked comm_overlap_frac must stay within
+//     -max-comm-overlap-drop (absolute points) of the baseline's, and
+//     the chunked variant must not lose to the monolithic rendezvous —
+//     a change that re-serializes reduction behind an all-park barrier
+//     cannot merge.
 //
 // The scaling check compares two points from the same run on the same
 // machine, so its tolerance is tight (15%); the cross-report ns check
@@ -42,6 +48,15 @@ type report struct {
 		Prefetch        overlap `json:"prefetch"`
 		Adaptive        overlap `json:"adaptive"`
 	} `json:"rows"`
+	Comm *struct {
+		Monolithic struct {
+			NsPerStep int64 `json:"ns_per_step"`
+		} `json:"monolithic"`
+		Chunked struct {
+			NsPerStep       int64   `json:"ns_per_step"`
+			CommOverlapFrac float64 `json:"comm_overlap_frac"`
+		} `json:"chunked"`
+	} `json:"comm"`
 	Contention []struct {
 		Devices int   `json:"devices"`
 		NsPerOp int64 `json:"ns_per_op"`
@@ -98,15 +113,17 @@ func die(err error) {
 
 func main() {
 	var (
-		oldPath    = flag.String("old", "BENCH_trainer.json", "baseline report (checked in)")
-		newPath    = flag.String("new", "", "freshly generated report to gate")
-		row        = flag.String("row", "dp1-hostlink", "row to compare")
-		maxRegress = flag.Float64("max-regress", 0.20, "maximum allowed fractional speedup drop")
-		scaleFrom  = flag.Int("scale-from", 16, "contention scaling baseline device count")
-		scaleTo    = flag.Int("scale-to", 64, "contention scaling guarded device count")
-		maxScale   = flag.Float64("max-scale-degrade", 0.15, "maximum allowed ns/op growth from -scale-from to -scale-to devices")
-		maxContend = flag.Float64("max-contend-regress", 0.50, "maximum allowed cross-report ns/op growth at -scale-to devices")
-		maxAdDrop  = flag.Float64("max-adaptive-overlap-drop", 0.05, "maximum allowed absolute overlap_frac shortfall of the adaptive run vs the static prefetch run on -row")
+		oldPath     = flag.String("old", "BENCH_trainer.json", "baseline report (checked in)")
+		newPath     = flag.String("new", "", "freshly generated report to gate")
+		row         = flag.String("row", "dp1-hostlink", "row to compare")
+		maxRegress  = flag.Float64("max-regress", 0.20, "maximum allowed fractional speedup drop")
+		scaleFrom   = flag.Int("scale-from", 16, "contention scaling baseline device count")
+		scaleTo     = flag.Int("scale-to", 64, "contention scaling guarded device count")
+		maxScale    = flag.Float64("max-scale-degrade", 0.15, "maximum allowed ns/op growth from -scale-from to -scale-to devices")
+		maxContend  = flag.Float64("max-contend-regress", 0.50, "maximum allowed cross-report ns/op growth at -scale-to devices")
+		maxAdDrop   = flag.Float64("max-adaptive-overlap-drop", 0.05, "maximum allowed absolute overlap_frac shortfall of the adaptive run vs the static prefetch run on -row")
+		maxCommDrop = flag.Float64("max-comm-overlap-drop", 0.05, "maximum allowed absolute comm_overlap_frac drop on the dp4-comm chunked run vs baseline")
+		maxCommSlow = flag.Float64("max-comm-slowdown", 0.10, "maximum allowed fractional ns_per_step excess of the chunked dp4-comm run over the monolithic run from the same report")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -157,6 +174,39 @@ func main() {
 				short, *row, *maxAdDrop)
 		}
 		break
+	}
+
+	// Chunked-collective checks. The speedup comparison pairs two runs
+	// from the same fresh report (machine speed cancels; the tolerance
+	// absorbs scheduler noise). The overlap comparison crosses reports
+	// but is an absolute fraction, so it too is machine-independent.
+	// Reports predating the comm row carry no comm object; skip with a
+	// note so the gate can bootstrap.
+	if newRep.Comm == nil {
+		fmt.Printf("benchgate: note: %s has no dp4-comm data; skipping chunked-collective checks\n", *newPath)
+	} else {
+		mono, chk := newRep.Comm.Monolithic.NsPerStep, newRep.Comm.Chunked.NsPerStep
+		if mono <= 0 || chk <= 0 {
+			die(fmt.Errorf("%s: dp4-comm has non-positive ns_per_step (monolithic %d, chunked %d)", *newPath, mono, chk))
+		}
+		slow := float64(chk-mono) / float64(mono)
+		fmt.Printf("benchgate: dp4-comm monolithic %d, chunked %d ns/step (excess %.1f%%, limit %.0f%%)\n",
+			mono, chk, 100*slow, 100**maxCommSlow)
+		if slow > *maxCommSlow {
+			fail("FAIL: chunked collectives run %.1f%% slower than the monolithic rendezvous (> %.0f%%); reduction is re-serialized",
+				100*slow, 100**maxCommSlow)
+		}
+		if oldRep.Comm == nil {
+			fmt.Printf("benchgate: note: baseline has no dp4-comm data; skipping comm-overlap check\n")
+		} else {
+			baseFrac, curFrac := oldRep.Comm.Chunked.CommOverlapFrac, newRep.Comm.Chunked.CommOverlapFrac
+			fmt.Printf("benchgate: dp4-comm comm_overlap_frac baseline %.3f, current %.3f (drop %.3f, limit %.3f)\n",
+				baseFrac, curFrac, baseFrac-curFrac, *maxCommDrop)
+			if baseFrac-curFrac > *maxCommDrop {
+				fail("FAIL: chunked comm overlap dropped %.3f > %.3f vs baseline; collectives no longer hide behind compute",
+					baseFrac-curFrac, *maxCommDrop)
+			}
+		}
 	}
 
 	// Scaling check: two points of the same run, so machine speed

@@ -85,8 +85,38 @@ type report struct {
 	Steps      int             `json:"steps_per_run"`
 	Widths1    []int           `json:"widths_dp1"`
 	Widths2    []int           `json:"widths_pp2"`
+	WidthsComm []int           `json:"widths_dp4_comm,omitempty"`
 	Rows       []row           `json:"rows"`
+	Comm       *commReport     `json:"comm,omitempty"`
 	Contention []contentionRow `json:"contention"`
+}
+
+// commRun is one measurement of the comm-bound configuration.
+type commRun struct {
+	NsPerStep     int64 `json:"ns_per_step"`
+	ChunksReduced int64 `json:"chunks_reduced"`
+	BytesReduced  int64 `json:"bytes_reduced"`
+	// CommOverlapFrac is the fraction of collective (Comms-lane) busy
+	// time during which at least one device's compute lane was also
+	// busy. A monolithic rendezvous parks every worker while the last
+	// arriver reduces, so it scores near zero; chunked collectives
+	// spread reduction across workers and let finished workers resume
+	// compute, so they score high.
+	CommOverlapFrac float64 `json:"comm_overlap_frac"`
+}
+
+// commReport is the dp4 comm-bound row: four data-parallel replicas
+// with a deliberately small per-replica batch, so the per-step
+// AllReduce reduce work is a large fraction of compute and the
+// monolithic all-park rendezvous is the bottleneck being measured.
+type commReport struct {
+	Name                string  `json:"name"`
+	Devices             int     `json:"devices"`
+	CommChunks          int     `json:"comm_chunks"`
+	CommBucketBytes     int64   `json:"comm_bucket_bytes"`
+	Monolithic          commRun `json:"monolithic"`
+	Chunked             commRun `json:"chunked"`
+	SpeedupVsMonolithic float64 `json:"speedup_vs_monolithic"`
 }
 
 // contentionRow is one point of the Ensure hot-path scaling curve.
@@ -224,6 +254,76 @@ func measure(v variant, depth, steps int, adaptive bool) (run, error) {
 	return r, nil
 }
 
+// commWidths keeps the comm-bound row's reduce/compute ratio high:
+// wide layers make per-layer gradients big (~19 MB total reduce
+// payload per replica) while the tiny batch keeps backward compute
+// small, so the per-step AllReduce is the bottleneck being measured.
+var commWidths = []int{64, 1536, 1536, 1536, 10}
+
+// commChunksN / commBucketB are the chunked variant's knobs: a 12 MB
+// bucket budget coalesces the four per-layer collectives into two
+// ~9.5 MB buckets ({L3,L2} and {L1,L0}, reverse layer order), each cut
+// into 8 chunks spread round-robin over the four device workers.
+const (
+	commChunksN = 8
+	commBucketB = int64(12) << 20
+)
+
+func commBoundConfig(chunks int, bucket int64) harmony.TrainerConfig {
+	return harmony.TrainerConfig{
+		Widths:  commWidths,
+		Mode:    harmony.HarmonyDP,
+		Devices: 4,
+		// Fits the whole footprint: the row isolates collective cost,
+		// not swap traffic. Chunked pin demand is additive across
+		// workers, so capacity must cover each worker's bucket views
+		// on top of the resident replica.
+		DeviceBytes:  96 << 20,
+		BatchSize:    4,
+		Microbatches: 1,
+		Seed:         1,
+		// PCIe-class interconnect: each collective's remote gradient
+		// traffic (2×(N-1)× payload) crosses this link. Monolithic
+		// rendezvous pay it serially with every worker parked; chunks
+		// cross it concurrently and hide behind compute.
+		LinkBytesPerSec: 1 << 30,
+		CommChunks:      chunks,
+		CommBucketBytes: bucket,
+	}
+}
+
+// measureComm times the comm-bound configuration with the given comm
+// knobs (0,0 = monolithic rendezvous) and reads the collective/compute
+// overlap off the execution trace.
+func measureComm(chunks int, bucket int64, steps int) (commRun, error) {
+	cfg := commBoundConfig(chunks, bucket)
+	tr, err := harmony.NewTrainer(cfg)
+	if err != nil {
+		return commRun{}, err
+	}
+	defer tr.Close()
+	blobs := harmony.NewBlobs(cfg.Widths[0], cfg.Widths[len(cfg.Widths)-1], 1.0, 3)
+	x, y := blobs.Batch(tr.SamplesPerStep(), 0)
+	if _, err := tr.Step(x, y); err != nil {
+		return commRun{}, err
+	}
+	tl := tr.EnableTrace()
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		if _, err := tr.Step(x, y); err != nil {
+			return commRun{}, err
+		}
+	}
+	wall := time.Since(start)
+	cs := tr.CommStats()
+	return commRun{
+		NsPerStep:       wall.Nanoseconds() / int64(steps),
+		ChunksReduced:   cs.ChunksReduced,
+		BytesReduced:    cs.BytesReduced,
+		CommOverlapFrac: tl.CommOverlapFraction(),
+	}, nil
+}
+
 func main() {
 	steps := flag.Int("steps", 4, "timed training steps per run (one extra warm-up step is untimed)")
 	depth := flag.Int("prefetch-depth", 4, "prefetch lookahead for the async runs")
@@ -262,6 +362,31 @@ func main() {
 			float64(ad.NsPerStep)/1e6, r.AdaptiveSpeedupVsSync, 100*ad.OverlapFrac,
 			ad.WindowMin, ad.WindowMax, ad.Resizes)
 	}
+
+	rep.WidthsComm = commWidths
+	mono, err := measureComm(0, 0, *steps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrainer: dp4-comm/monolithic: %v\n", err)
+		os.Exit(1)
+	}
+	chk, err := measureComm(commChunksN, commBucketB, *steps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrainer: dp4-comm/chunked: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Comm = &commReport{
+		Name:                "dp4-comm",
+		Devices:             4,
+		CommChunks:          commChunksN,
+		CommBucketBytes:     commBucketB,
+		Monolithic:          mono,
+		Chunked:             chk,
+		SpeedupVsMonolithic: float64(mono.NsPerStep) / float64(chk.NsPerStep),
+	}
+	fmt.Fprintf(os.Stderr, "%-16s monolithic %6.1fms/step (overlap %2.0f%%)  chunked %6.1fms/step (%.2fx, overlap %2.0f%%, %d chunks, %.1f MB reduced)\n",
+		"dp4-comm", float64(mono.NsPerStep)/1e6, 100*mono.CommOverlapFrac,
+		float64(chk.NsPerStep)/1e6, rep.Comm.SpeedupVsMonolithic, 100*chk.CommOverlapFrac,
+		chk.ChunksReduced, float64(chk.BytesReduced)/(1<<20))
 
 	for _, devs := range contentionDevices {
 		cr, err := measureContention(devs, *contendOps)

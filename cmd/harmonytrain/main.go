@@ -52,6 +52,8 @@ func main() {
 		linkBW    = flag.Int64("link-bw", 0, "modeled host-link bytes/sec charged to every swap/p2p copy (0 = memcpy cost only)")
 		swapTrace = flag.Bool("swap-trace", false, "print a compute/DMA-lane Gantt of the final step (shows swap-compute overlap)")
 		verify    = flag.Bool("verify", true, "statically verify the execution plan before training (schedcheck preflight; failures print a counterexample)")
+		commChunk = flag.Int("comm-chunks", 0, "split each gradient AllReduce into this many chunks reduced across device workers (0 = monolithic rendezvous; bit-identical at every setting)")
+		commBkt   = flag.Int64("comm-bucket", 0, "coalesce per-layer gradients into buckets of up to this many bytes sharing one rendezvous (0 = one bucket per layer; implies -comm-chunks 1)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,8 @@ func main() {
 		PrefetchDepth: *prefetch, AdaptivePrefetch: *adaptive,
 		LinkBytesPerSec: *linkBW,
 		NoVerify:        !*verify,
+		CommChunks:      *commChunk,
+		CommBucketBytes: *commBkt,
 	}
 	retuneStep, retuneMB, err := parseRetune(*retune)
 	if err != nil {
@@ -208,6 +212,10 @@ func main() {
 			float64(st.AsyncDMANanos)/1e6,
 			100*float64(st.AsyncDMANanos)/float64(trainWall.Nanoseconds()),
 			float64(trainWall.Nanoseconds())/1e6)
+	}
+	if cs := tr.CommStats(); cs.ChunksReduced > 0 {
+		fmt.Printf("chunked collectives: %d chunk reductions, %.1f MB gradients reduced\n",
+			cs.ChunksReduced, float64(cs.BytesReduced)/(1<<20))
 	}
 	if stats := tr.AdaptStats(); len(stats) > 0 {
 		fmt.Printf("adaptive prefetch: %d controller decisions;", len(tr.AdaptLog()))

@@ -9,6 +9,7 @@
 // Examples:
 //
 //	schedcheck -mode harmony-dp -devices 2 -layers 8 -microbatches 4
+//	schedcheck -mode harmony-dp -devices 4 -comm-chunks 8 -comm-bucket 16384
 //	schedcheck -mode pp-baseline -devices 4 -layers 16 -device-mem 32768
 //	schedcheck -mode dp-baseline -devices 2 -inject cycle      # seeded deadlock
 //	schedcheck -mode harmony-dp -devices 2 -inject overcap     # seeded thrash
@@ -37,6 +38,8 @@ func main() {
 		deviceMem = flag.Int64("device-mem", 1<<20, "per-device memory bytes")
 		groupSize = flag.Int("group-size", 0, "microbatch group size (0 = all)")
 		prefetch  = flag.Bool("prefetch", true, "plan with prefetch enabled")
+		chunks    = flag.Int("comm-chunks", 0, "split gradient collectives into N chunks (0 = monolithic)")
+		bucket    = flag.Int64("comm-bucket", 0, "coalesce reverse-order gradients into buckets of this many bytes")
 		baseline  = flag.Bool("baseline-toggles", false, "disable all optimizations regardless of mode")
 		inject    = flag.String("inject", "", "seed a plan bug: cycle, volume, overcap, uncommitted")
 		verbose   = flag.Bool("v", false, "print per-device residency and volume detail")
@@ -74,6 +77,8 @@ func main() {
 	}
 	opts.GroupSize = *groupSize
 	opts.Prefetch = opts.Prefetch && *prefetch
+	opts.CommChunks = *chunks
+	opts.CommBucketBytes = *bucket
 	s, err := sched.Build(g, opts, *devices)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "schedcheck: %v\n", err)

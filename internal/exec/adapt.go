@@ -51,9 +51,17 @@ func (d AdaptDecision) String() string {
 // Policy, in priority order:
 //
 //  1. shrink pressure — a window scan demanded more bytes than the
-//     budget admits: first widen the budget (bounded by the engine
-//     cap the plan was verified against), and only once the budget is
-//     capped shrink the window;
+//     budget admits AND that demand actually went uncovered: first
+//     widen the budget (bounded by the engine cap the plan was
+//     verified against). Once the budget is capped, the bar rises:
+//     the window shrinks only when over-budget demand is *drowning*
+//     the prefetcher — more entries missed than covered that step. A
+//     thin uncovered tail under an over-cap peak keeps the lookahead;
+//     over-budget demand with full (or majority) coverage is not
+//     pressure — the prefetcher is evidently keeping up, and
+//     narrowing the window there costs overlap for nothing (measured
+//     as a 7-point DMA-overlap loss on the dp1-hostlink bench before
+//     the majority gate);
 //  2. grow — demand misses remain and the budget has at least 2×
 //     headroom over the window's peak demand: deepen the lookahead;
 //  3. trim — the window is fully grown and its peak demand uses less
@@ -82,9 +90,13 @@ type adaptController struct {
 // (warmup, recovery re-staging) never move the knobs.
 const hysteresisSteps = 2
 
-// newAdaptController starts at the static-equivalent window with half
-// the engine budget cap, leaving both knobs room to move in either
-// direction.
+// newAdaptController starts at the static-equivalent window AND the
+// static-equivalent budget — the engine cap, exactly what a static
+// plan's shards run with — so an adaptive run's first steps match a
+// static run's until a signal says otherwise. The trim rule walks the
+// budget down when demand proves light; starting below the cap was
+// measured as a 6-point DMA-overlap handicap on the dp1-hostlink
+// bench before the widen caught up.
 func newAdaptController(window, wMin, wMax int, bMax int64) adaptController {
 	if wMin < 1 {
 		wMin = 1
@@ -105,10 +117,7 @@ func newAdaptController(window, wMin, wMax int, bMax int64) adaptController {
 	if bMin < 1 {
 		bMin = 1
 	}
-	budget := bMax / 2
-	if budget < bMin {
-		budget = bMin
-	}
+	budget := bMax
 	return adaptController{
 		wMin: wMin, wMax: wMax, bMin: bMin, bMax: bMax,
 		window: window,
@@ -125,7 +134,11 @@ func (c *adaptController) adaptStep(step, dev int, sig adaptSignals) []AdaptDeci
 	if ceil > c.wMax {
 		ceil = c.wMax
 	}
-	shrinkWanted := sig.WantPeak > c.budget
+	// While the budget has headroom, any uncovered over-budget demand
+	// is worth a (bounded) budget widen; once capped, shrinking the
+	// window costs overlap, so it takes majority misses to justify.
+	shrinkWanted := sig.WantPeak > c.budget && sig.Uncovered > 0 &&
+		(c.budget < c.bMax || sig.Uncovered > sig.Covered)
 	growWanted := !shrinkWanted && c.window < ceil &&
 		sig.Uncovered > 0 && sig.WantPeak*2 <= c.budget
 	trimWanted := !shrinkWanted && !growWanted && c.window >= ceil &&

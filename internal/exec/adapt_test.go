@@ -99,13 +99,14 @@ func TestAdaptControllerConverges(t *testing.T) {
 }
 
 // TestAdaptControllerShrinksUnderPressure: demand persistently over
-// the maximum budget must first max out the budget, then walk the
-// window down to its floor — the capacity-pressure escape hatch.
+// the maximum budget that drowns the prefetcher (majority of entries
+// uncovered) must first max out the budget, then walk the window down
+// to its floor — the capacity-pressure escape hatch.
 func TestAdaptControllerShrinksUnderPressure(t *testing.T) {
 	const wMax = 8
 	bMax := int64(4 << 10)
 	c := newAdaptController(wMax, 1, wMax, bMax)
-	sig := adaptSignals{Covered: 4, Uncovered: 1, WantPeak: bMax * 2}
+	sig := adaptSignals{Covered: 1, Uncovered: 4, WantPeak: bMax * 2}
 	for step := 1; step <= 100; step++ {
 		c.adaptStep(step, 0, sig)
 	}
@@ -123,6 +124,48 @@ func TestAdaptControllerShrinksUnderPressure(t *testing.T) {
 		if c.window > 1 {
 			t.Fatalf("window regrew to %d past the shrink ratchet", c.window)
 		}
+	}
+}
+
+// TestAdaptControllerIgnoresCoveredPressure pins the dp1-hostlink
+// regression fix: over-budget window demand whose entries were all
+// covered anyway is not pressure — the prefetcher is keeping up — so
+// the controller must neither widen the budget nor shrink the window.
+// (Before the coverage gate it shrank 4→3 on exactly this signal and
+// cost 8% of step time on the single-device host-link bench.)
+func TestAdaptControllerIgnoresCoveredPressure(t *testing.T) {
+	bMax := int64(4 << 10)
+	c := newAdaptController(4, 1, 8, bMax)
+	covered := adaptSignals{Covered: 6, Uncovered: 0, WantPeak: bMax * 2}
+	for step := 1; step <= 50; step++ {
+		if dec := c.adaptStep(step, 0, covered); len(dec) != 0 {
+			t.Fatalf("step %d: covered over-budget demand moved a knob: %v", step, dec)
+		}
+	}
+	if c.window != 4 {
+		t.Fatalf("window moved to %d on fully covered demand", c.window)
+	}
+	// A thin miss tail under an over-cap peak is not pressure either:
+	// the budget starts (and here sits) at the cap, so the only move
+	// left is a window shrink, and a minority of misses does not earn
+	// one (the dp1-hostlink bench shrank 4→3 on exactly this tail and
+	// lost 7 points of DMA overlap).
+	missing := adaptSignals{Covered: 4, Uncovered: 1, WantPeak: bMax * 2}
+	for step := 51; step <= 80; step++ {
+		if dec := c.adaptStep(step, 0, missing); len(dec) != 0 {
+			t.Fatalf("step %d: minority miss tail at the budget cap moved a knob: %v", step, dec)
+		}
+	}
+	if c.window != 4 {
+		t.Fatalf("window shrank to %d on a minority miss tail at the budget cap", c.window)
+	}
+	// Majority misses at the cap are genuine drowning and must shrink.
+	drowning := adaptSignals{Covered: 1, Uncovered: 4, WantPeak: bMax * 2}
+	for step := 81; step <= 90; step++ {
+		c.adaptStep(step, 0, drowning)
+	}
+	if c.window >= 4 {
+		t.Fatalf("window %d, want shrunk under majority-miss pressure at the cap", c.window)
 	}
 }
 

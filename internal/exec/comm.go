@@ -1,0 +1,130 @@
+// Chunked collective execution. The scheduler's comm plan
+// (sched.Schedule.Comm) fixes bucket membership, chunk boundaries and
+// reducer assignment at plan time; this file derives the runtime view
+// the executor's reduceBucket path consumes — per-device chunk lists
+// in member order plus per-member chunk counts — and implements the
+// per-chunk reduction itself.
+package exec
+
+import (
+	"fmt"
+
+	"harmony/internal/fault"
+	"harmony/internal/graph"
+	"harmony/internal/sched"
+	"harmony/internal/trace"
+)
+
+// commBucketRT is one bucket's runtime view.
+type commBucketRT struct {
+	// members are the bucket's collective tasks in plan order
+	// (descending layer, mirroring backward completion).
+	members []*graph.Task
+	// byDev[d] lists the chunks device worker d reduces, member-major
+	// then ascending offset — the iteration order of reduceBucket.
+	byDev [][]sched.CommChunk
+	// chunksPerMember seeds the executor's per-run countdown; the
+	// worker that retires a member's last chunk completes the task.
+	chunksPerMember []int32
+}
+
+// buildCommPlan derives the runtime comm plan from a schedule, or nil
+// when the schedule has no comm plan (monolithic rendezvous).
+func buildCommPlan(s *sched.Schedule) []commBucketRT {
+	if s.Comm == nil {
+		return nil
+	}
+	plan := make([]commBucketRT, len(s.Comm))
+	for bi, b := range s.Comm {
+		rt := commBucketRT{
+			members:         make([]*graph.Task, len(b.Members)),
+			byDev:           make([][]sched.CommChunk, s.NGPUs),
+			chunksPerMember: make([]int32, len(b.Members)),
+		}
+		for i, ci := range b.Members {
+			rt.members[i] = s.Collectives[ci]
+		}
+		for _, c := range b.Chunks {
+			rt.byDev[c.Reducer] = append(rt.byDev[c.Reducer], c)
+			rt.chunksPerMember[c.Member]++
+		}
+		plan[bi] = rt
+	}
+	return plan
+}
+
+// CommStats reports chunked-collective counters: how many chunk
+// reductions ran and the total bytes they reduced (per-replica
+// payload). Zero on monolithic plans.
+type CommStats struct {
+	ChunksReduced int64
+	BytesReduced  int64
+}
+
+// CommStats returns the chunked-collective counters accumulated so
+// far. Safe to call between steps (same contract as Stats).
+func (tr *Trainer) CommStats() CommStats { return tr.commStats }
+
+// runCollectiveChunk reduces the element range [lo, hi) of one
+// AllReduce member across all replicas, on behalf of device worker
+// dev. The summation order per element is fixed replica order —
+// identical to runCollective's — so any partition into chunks yields
+// bit-identical results. Each chunk is an independent unit of fault
+// injection and recovery: a fatal fault here retires the reducing
+// worker's physical device through the usual rollback-and-resume path.
+func (tr *Trainer) runCollectiveChunk(dev int, ar *graph.Task, lo, hi int) error {
+	if ar.Kind != graph.AllReduce {
+		return fmt.Errorf("exec: unsupported collective kind %v", ar.Kind)
+	}
+	n := len(ar.Inputs)
+	if n == 0 {
+		return fmt.Errorf("exec: collective %s has no inputs", ar)
+	}
+	if err := tr.injectOp(fault.Collective, tr.pdev(dev), ar.Layer); err != nil {
+		return err
+	}
+	if r := tr.rec; r != nil {
+		start := tr.vm.clk.Now()
+		defer func() {
+			r.add(tr.pdev(dev), trace.Comms, fmt.Sprintf("%s[%d:%d]", ar, lo, hi), start, tr.vm.clk.Now())
+		}()
+	}
+	views := make([][]float32, n)
+	for i, in := range ar.Inputs {
+		v, err := tr.vm.Ensure(tr.pdev(i), in) // replica i trains on device i
+		if err != nil {
+			return err
+		}
+		views[i] = v
+	}
+	// This chunk's share of the remote gradient traffic: pull n-1
+	// remote slices, push the reduced slice back. Charged on the
+	// reducing worker's goroutine, so chunks assigned to different
+	// workers cross the modeled interconnect concurrently — and hide
+	// behind other workers' compute instead of parking it.
+	tr.vm.linkSleep(2 * int64(n-1) * int64(hi-lo) * 4)
+	inv := float32(1) / float32(n)
+	for j := lo; j < hi; j++ {
+		var s float32
+		for i := 0; i < n; i++ {
+			s += views[i][j]
+		}
+		s *= inv
+		for i := 0; i < n; i++ {
+			views[i][j] = s
+		}
+	}
+	for _, in := range ar.Inputs {
+		if err := tr.vm.MarkDirty(in); err != nil {
+			return err
+		}
+		if err := tr.vm.Unpin(in); err != nil {
+			return err
+		}
+	}
+	tr.commMu.Lock()
+	tr.commStats.ChunksReduced++
+	tr.commStats.BytesReduced += int64(hi-lo) * 4
+	tr.commMu.Unlock()
+	return nil
+}

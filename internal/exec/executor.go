@@ -26,21 +26,38 @@ import (
 )
 
 // streamEntry is one slot in a device worker's execution stream:
-// either a compute task from the schedule queue or a rendezvous for a
-// collective (coll indexes Schedule.Collectives; -1 for compute).
+// either a compute task from the schedule queue or a rendezvous (coll
+// indexes the rendezvous list returned by buildStreams; -1 for
+// compute). A rendezvous covers one collective on the monolithic path
+// and one whole bucket of collectives on the chunked path; task is its
+// first member (used for labels and anchor bookkeeping).
 type streamEntry struct {
 	task *graph.Task
 	coll int
 }
 
-// buildStreams weaves each collective into the queue of every
-// participating device, anchored just before the collective's first
-// successor on that device (and after its last dependency there), so
-// a worker arrives at the rendezvous only when its own prerequisite
-// work is done. Participants of an AllReduce are devices 0..N-1 —
-// replica i's gradients live on device i, exactly as runCollective
-// ensures them.
-func buildStreams(s *sched.Schedule) ([][]streamEntry, []int, error) {
+// buildStreams weaves each rendezvous into the queue of every
+// participating device. Participants of an AllReduce are devices
+// 0..N-1 — replica i's gradients live on device i, exactly as
+// runCollective ensures them.
+//
+// Anchor placement differs by path, and the difference is the whole
+// overlap story:
+//
+//   - monolithic (no comm plan): each collective is its own rendezvous
+//     (rdvTasks[i] has one member), anchored just before its earliest
+//     successor on the device — the all-park barrier runs as late as
+//     the schedule allows;
+//   - chunked (Schedule.Comm): each bucket is one rendezvous whose
+//     members are its collectives in plan order, anchored just AFTER
+//     the last member dependency on the device — the earliest point
+//     the member gradients exist. The scheduler defers the bucket's
+//     updates past the next bucket's backwards (commUpdateGroups), so
+//     the entries after the anchor are compute: a worker that finishes
+//     its chunks departs into backward work while other workers still
+//     reduce. Both placements validate that every dependency precedes
+//     the anchor and every successor follows it.
+func buildStreams(s *sched.Schedule) ([][]streamEntry, [][]*graph.Task, []int, error) {
 	type qpos struct{ dev, idx int }
 	pos := make(map[int]qpos)
 	for d, q := range s.Queues {
@@ -48,43 +65,91 @@ func buildStreams(s *sched.Schedule) ([][]streamEntry, []int, error) {
 			pos[t.ID] = qpos{d, i}
 		}
 	}
-	parties := make([]int, len(s.Collectives))
-	// anchors[d][i] lists collectives to run right before queue index i.
+	var rdvTasks [][]*graph.Task
+	if s.Comm != nil {
+		for _, b := range s.Comm {
+			members := make([]*graph.Task, len(b.Members))
+			for i, ci := range b.Members {
+				members[i] = s.Collectives[ci]
+			}
+			rdvTasks = append(rdvTasks, members)
+		}
+	} else {
+		for _, c := range s.Collectives {
+			rdvTasks = append(rdvTasks, []*graph.Task{c})
+		}
+	}
+	parties := make([]int, len(rdvTasks))
+	// anchors[d][i] lists rendezvous to run right before queue index i.
 	anchors := make([]map[int][]int, s.NGPUs)
 	for d := range anchors {
 		anchors[d] = make(map[int][]int)
 	}
-	for ci, c := range s.Collectives {
-		if c.Kind != graph.AllReduce {
-			return nil, nil, fmt.Errorf("exec: unsupported collective kind %v in schedule", c.Kind)
+	for ri, members := range rdvTasks {
+		n := 0
+		for _, c := range members {
+			if c.Kind != graph.AllReduce {
+				return nil, nil, nil, fmt.Errorf("exec: unsupported collective kind %v in schedule", c.Kind)
+			}
+			if len(c.Inputs) == 0 || len(c.Inputs) > s.NGPUs {
+				return nil, nil, nil, fmt.Errorf("exec: collective %s has %d inputs for %d devices", c, len(c.Inputs), s.NGPUs)
+			}
+			if n != 0 && len(c.Inputs) != n {
+				return nil, nil, nil, fmt.Errorf("exec: rendezvous %d members disagree on party count", ri)
+			}
+			n = len(c.Inputs)
 		}
-		n := len(c.Inputs)
-		if n == 0 || n > s.NGPUs {
-			return nil, nil, fmt.Errorf("exec: collective %s has %d inputs for %d devices", c, n, s.NGPUs)
-		}
-		parties[ci] = n
+		parties[ri] = n
 		for d := 0; d < n; d++ {
-			anchor := len(s.Queues[d])
-			for _, succ := range c.Succs {
-				if p, ok := pos[succ.ID]; ok && p.dev == d && p.idx < anchor {
-					anchor = p.idx
+			var anchor int
+			if s.Comm != nil {
+				// Earliest legal point: right after the last member
+				// dependency scheduled on this device.
+				anchor = 0
+				for _, c := range members {
+					for _, dep := range c.Deps {
+						if p, ok := pos[dep.ID]; ok && p.dev == d && p.idx+1 > anchor {
+							anchor = p.idx + 1
+						}
+					}
+				}
+			} else {
+				// Latest legal point: right before the earliest member
+				// successor on this device.
+				anchor = len(s.Queues[d])
+				for _, c := range members {
+					for _, succ := range c.Succs {
+						if p, ok := pos[succ.ID]; ok && p.dev == d && p.idx < anchor {
+							anchor = p.idx
+						}
+					}
+				}
+				for _, c := range members {
+					for _, dep := range c.Deps {
+						if p, ok := pos[dep.ID]; ok && p.dev == d && p.idx >= anchor {
+							return nil, nil, nil, fmt.Errorf("exec: collective %s on gpu%d depends on %s scheduled after its successors",
+								c, d, dep)
+						}
+					}
 				}
 			}
-			for _, dep := range c.Deps {
-				if p, ok := pos[dep.ID]; ok && p.dev == d && p.idx >= anchor {
-					return nil, nil, fmt.Errorf("exec: collective %s on gpu%d depends on %s scheduled after its successors",
-						c, d, dep)
+			for _, c := range members {
+				for _, succ := range c.Succs {
+					if p, ok := pos[succ.ID]; ok && p.dev == d && p.idx < anchor {
+						return nil, nil, nil, fmt.Errorf("exec: collective %s on gpu%d has successor %s scheduled before its dependencies",
+							c, d, succ)
+					}
 				}
 			}
-			anchors[d][anchor] = append(anchors[d][anchor], ci)
+			anchors[d][anchor] = append(anchors[d][anchor], ri)
 		}
 	}
 	streams := make([][]streamEntry, s.NGPUs)
 	for d, q := range s.Queues {
 		st := make([]streamEntry, 0, len(q)+len(anchors[d]))
 		for i := 0; i <= len(q); i++ {
-			for _, ci := range anchors[d][i] {
-				st = append(st, streamEntry{task: s.Collectives[ci], coll: ci})
+			for _, ri := range anchors[d][i] {
+				st = append(st, streamEntry{task: rdvTasks[ri][0], coll: ri})
 			}
 			if i < len(q) {
 				st = append(st, streamEntry{task: q[i], coll: -1})
@@ -92,7 +157,7 @@ func buildStreams(s *sched.Schedule) ([][]streamEntry, []int, error) {
 		}
 		streams[d] = st
 	}
-	return streams, parties, nil
+	return streams, rdvTasks, parties, nil
 }
 
 // validateStreams proves the woven schedule can complete by running it
@@ -101,7 +166,7 @@ func buildStreams(s *sched.Schedule) ([][]streamEntry, []int, error) {
 // have arrived. A stuck fixed point is reported as a deadlock with
 // each device's blocked head — the dispatcher refuses to launch
 // workers that would hang forever on a cyclic schedule.
-func validateStreams(tasks []*graph.Task, streams [][]streamEntry, parties []int) error {
+func validateStreams(tasks []*graph.Task, streams [][]streamEntry, rdvTasks [][]*graph.Task, parties []int) error {
 	depsLeft := make([]int, len(tasks))
 	total := 0
 	for _, t := range tasks {
@@ -117,6 +182,20 @@ func validateStreams(tasks []*graph.Task, streams [][]streamEntry, parties []int
 			depsLeft[s.ID]--
 		}
 	}
+	// A rendezvous completes when every participant has arrived and all
+	// member dependencies are met; completing it finishes every member.
+	// This is conservative for the chunked path (the real executor
+	// releases each member as its last chunk retires, and lets finished
+	// workers depart early), so a schedule passing here can only
+	// complete more easily at runtime.
+	membersReady := func(ri int) bool {
+		for _, m := range rdvTasks[ri] {
+			if depsLeft[m.ID] > 0 {
+				return false
+			}
+		}
+		return true
+	}
 	done := 0
 	for done < total {
 		progress := false
@@ -131,10 +210,12 @@ func validateStreams(tasks []*graph.Task, streams [][]streamEntry, parties []int
 						progress = true
 					}
 					if !collDone[e.coll] {
-						if arrived[e.coll] == parties[e.coll] && depsLeft[e.task.ID] == 0 {
+						if arrived[e.coll] == parties[e.coll] && membersReady(e.coll) {
 							collDone[e.coll] = true
-							finish(e.task)
-							done++
+							for _, m := range rdvTasks[e.coll] {
+								finish(m)
+								done++
+							}
 							progress = true
 						} else {
 							break // parked at the rendezvous
@@ -184,6 +265,11 @@ type executor struct {
 	losses  []float32       // per task ID, filled by final-layer backwards
 	counted []bool
 
+	// commLeft[bi][mi] counts bucket bi member mi's chunks not yet
+	// reduced this run; the worker that retires a member's last chunk
+	// completes it. Nil on the monolithic path.
+	commLeft [][]int32
+
 	abort    chan struct{}
 	failOnce sync.Once
 	err      error
@@ -199,6 +285,11 @@ func newExecutor(tr *Trainer, labels [][][]int) *executor {
 		losses:  make([]float32, n),
 		counted: make([]bool, n),
 		abort:   make(chan struct{}),
+	}
+	for _, b := range tr.comm {
+		left := make([]int32, len(b.members))
+		copy(left, b.chunksPerMember)
+		ex.commLeft = append(ex.commLeft, left)
 	}
 	for _, t := range tr.g.Tasks {
 		ex.deps[t.ID] = int32(len(t.Deps))
@@ -255,7 +346,11 @@ func (ex *executor) worker(d int, stream []streamEntry, rdvs []*rendezvous) {
 		default:
 		}
 		if e.coll >= 0 {
-			if !ex.arrive(d, rdvs[e.coll], e.task) {
+			if ex.tr.comm != nil {
+				if !ex.reduceBucket(d, e.coll) {
+					return
+				}
+			} else if !ex.arrive(d, rdvs[e.coll], e.task) {
 				return
 			}
 			continue
@@ -370,5 +465,45 @@ func (ex *executor) arrive(d int, r *rendezvous, t *graph.Task) bool {
 		return false
 	}
 	ex.complete(t)
+	return true
+}
+
+// reduceBucket is the chunked rendezvous: device worker d reduces
+// exactly the chunks the plan assigned to it (chunk k → worker k mod
+// N, fixed at plan time), in member order, waiting only for each
+// member's own dependencies — never for other workers. The worker that
+// retires a member's last chunk completes it, releasing its updates;
+// a worker whose chunks are done departs immediately and continues its
+// compute stream while other chunks still reduce. No arrival barrier
+// exists, which is the whole point: chunk boundaries, reducer
+// assignment and per-element summation order are pure functions of the
+// plan, so the overlap costs no determinism.
+func (ex *executor) reduceBucket(d int, bi int) bool {
+	b := &ex.tr.comm[bi]
+	chunks := b.byDev[d]
+	idx := 0
+	for mi, m := range b.members {
+		lo := idx
+		for idx < len(chunks) && chunks[idx].Member == mi {
+			idx++
+		}
+		if lo == idx {
+			continue // no chunks of this member assigned here
+		}
+		select {
+		case <-ex.ready[m.ID]:
+		case <-ex.abort:
+			return false
+		}
+		for _, c := range chunks[lo:idx] {
+			if err := ex.tr.runCollectiveChunk(d, m, c.Lo, c.Hi); err != nil {
+				ex.fail(fmt.Errorf("exec: %s[%d:%d]: %w", m, c.Lo, c.Hi, err))
+				return false
+			}
+		}
+		if atomic.AddInt32(&ex.commLeft[bi][mi], int32(lo-idx)) == 0 {
+			ex.complete(m)
+		}
+	}
 	return true
 }

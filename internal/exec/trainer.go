@@ -3,6 +3,7 @@ package exec
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"time"
 
 	"harmony/internal/fault"
@@ -70,8 +71,9 @@ type TrainerConfig struct {
 	// only data movement, never math: weights and losses stay
 	// bit-identical at every depth.
 	PrefetchDepth int
-	// LinkBytesPerSec models host-link bandwidth: every swap and p2p
-	// copy additionally costs bytes/LinkBytesPerSec of wall time on
+	// LinkBytesPerSec models host-link bandwidth: every swap, p2p
+	// copy and collective's remote gradient traffic additionally
+	// costs bytes/LinkBytesPerSec of wall time on
 	// its transfer lane (outside the VM lock, so concurrent DMAs and
 	// compute genuinely overlap). 0 disables modeling — transfers
 	// cost only their memcpy time.
@@ -87,6 +89,20 @@ type TrainerConfig struct {
 	// [WindowMin, WindowMax]. The serial reference path still never
 	// prefetches, so adaptive+Serial is the static serial baseline.
 	AdaptivePrefetch bool
+
+	// CommChunks splits each gradient AllReduce into that many
+	// plan-time chunk rendezvous, each reduced by a deterministically
+	// assigned device worker so reduce work spreads across workers and
+	// finished workers overlap collective tails with their compute
+	// stream. 0 keeps the monolithic rendezvous. Shorthand for
+	// Options.CommChunks. Chunked runs are bit-identical to monolithic
+	// and serial ones: boundaries, reducers and per-element summation
+	// order are pure functions of the plan.
+	CommChunks int
+	// CommBucketBytes coalesces small per-layer gradients (reverse
+	// layer order) into byte-budgeted buckets sharing one rendezvous.
+	// Shorthand for Options.CommBucketBytes; implies CommChunks >= 1.
+	CommBucketBytes int64
 
 	// Injector, when non-nil, fault-injects kernel launches,
 	// swap-in/out and p2p copies, and collective rendezvous (see
@@ -126,14 +142,24 @@ type Trainer struct {
 	vm      *VM
 	step    int
 
-	// streams are the per-device execution streams with collectives
-	// woven in at their rendezvous anchors; parties[i] is how many
-	// device workers meet at collective i. Built once at NewTrainer,
-	// checked for liveness once at the first Step.
+	// streams are the per-device execution streams with rendezvous
+	// woven in at their anchors; rdvTasks[i] lists rendezvous i's
+	// member collectives (one on the monolithic path, a whole bucket
+	// on the chunked path) and parties[i] is how many device workers
+	// meet there. Built once at NewTrainer, checked for liveness once
+	// at the first Step.
 	streams   [][]streamEntry
+	rdvTasks  [][]*graph.Task
 	parties   []int
 	validated bool
 	valErr    error
+
+	// comm is the chunked-collective runtime plan (nil = monolithic);
+	// commStats counts chunk reductions, guarded by commMu because
+	// chunks retire concurrently on different device workers.
+	comm      []commBucketRT
+	commMu    sync.Mutex
+	commStats CommStats
 
 	// pf, when non-nil, is the schedule-driven prefetcher the device
 	// workers call before each kernel; rec, when non-nil, records
@@ -215,11 +241,17 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 	if cfg.AdaptivePrefetch {
 		opts.AdaptivePrefetch = true
 	}
+	if cfg.CommChunks > 0 {
+		opts.CommChunks = cfg.CommChunks
+	}
+	if cfg.CommBucketBytes > 0 {
+		opts.CommBucketBytes = cfg.CommBucketBytes
+	}
 	s, err := sched.Build(g, opts, cfg.Devices)
 	if err != nil {
 		return nil, err
 	}
-	streams, parties, err := buildStreams(s)
+	streams, rdvTasks, parties, err := buildStreams(s)
 	if err != nil {
 		return nil, err
 	}
@@ -229,17 +261,19 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		}
 	}
 	tr := &Trainer{
-		cfg:     cfg,
-		layers:  layers,
-		inDim:   layers[0].InSize(),
-		classes: layers[len(layers)-1].OutSize(),
-		g:       g,
-		s:       s,
-		vm:      NewVM(cfg.Devices, cfg.DeviceBytes, s.MemPolicy),
-		streams: streams,
-		parties: parties,
-		devMap:  make([]int, cfg.Devices),
-		alive:   make([]bool, cfg.Devices),
+		cfg:      cfg,
+		layers:   layers,
+		inDim:    layers[0].InSize(),
+		classes:  layers[len(layers)-1].OutSize(),
+		g:        g,
+		s:        s,
+		vm:       NewVM(cfg.Devices, cfg.DeviceBytes, s.MemPolicy),
+		streams:  streams,
+		rdvTasks: rdvTasks,
+		parties:  parties,
+		comm:     buildCommPlan(s),
+		devMap:   make([]int, cfg.Devices),
+		alive:    make([]bool, cfg.Devices),
 	}
 	for d := range tr.devMap {
 		tr.devMap[d] = d
@@ -318,10 +352,10 @@ func planTopology(cfg TrainerConfig, s *sched.Schedule) schedcheck.Topology {
 }
 
 // armAdaptive attaches one controller per virtual device to the
-// prefetcher, starting every window at the static depth (so an
-// adaptive run's first step matches a static run's) with half the
-// engine budget cap. Called at construction and again by Retune when
-// the adopted plan keeps adaptation on.
+// prefetcher, starting every window at the static depth and every
+// budget at the engine cap (so an adaptive run's first step matches a
+// static run's exactly). Called at construction and again by Retune
+// when the adopted plan keeps adaptation on.
 func (tr *Trainer) armAdaptive() {
 	o := tr.s.Opts
 	bMax := tr.cfg.DeviceBytes / 2
@@ -529,7 +563,7 @@ func (tr *Trainer) Step(inputs [][][]float32, labels [][][]int) (float32, error)
 	// because Retune swaps the streams mid-run; Step is documented
 	// non-concurrent, so a plain flag suffices.
 	if !tr.validated {
-		tr.valErr = validateStreams(tr.g.Tasks, tr.streams, tr.parties)
+		tr.valErr = validateStreams(tr.g.Tasks, tr.streams, tr.rdvTasks, tr.parties)
 		tr.validated = true
 	}
 	if tr.valErr != nil {
@@ -710,9 +744,12 @@ func (tr *Trainer) recoverFrom(dev int) error {
 // physical device their worst-case concurrently-pinned bytes add up.
 // Per virtual device that is the largest single-task pin set
 // (inputs+outputs+workspace — one task in flight per stream); during
-// a collective all participants park, so its demand is the sum of the
-// participating replicas' buffers bound to the device. Conservative
-// by design: it never passes a binding the VM could fail on. Recovery
+// a monolithic collective all participants park, so its demand is the
+// sum of the participating replicas' buffers bound to the device.
+// Chunked plans overlap collective and compute instead of parking, so
+// their demand is additive across workers (see the s.Comm branch
+// below). Conservative by design: it never passes a binding the VM
+// could fail on. Recovery
 // checks the live schedule against a shrunken binding; Retune checks
 // a candidate schedule before adoption.
 func (tr *Trainer) checkPinBudget(s *sched.Schedule) error {
@@ -733,17 +770,63 @@ func (tr *Trainer) checkPinBudget(s *sched.Schedule) error {
 		}
 	}
 	need := make([]int64, len(tr.devMap))
-	for d, p := range tr.devMap {
-		need[p] += maxPin[d]
-	}
-	for _, c := range s.Collectives {
-		coll := make([]int64, len(tr.devMap))
-		for i, in := range c.Inputs {
-			coll[tr.pdev(i)] += in.Bytes
+	if s.Comm != nil {
+		// Chunked collectives overlap compute: while worker d reduces
+		// a chunk (pinning all replica views of one member) the other
+		// workers may be computing or reducing their own chunks. Per
+		// worker the instantaneous demand is either its largest task
+		// pin or its largest member's view pins, whichever lands on
+		// each physical device; the per-device total is the sum across
+		// workers. Conservative: it assumes every worker simultaneously
+		// holds its worst case.
+		for d := range tr.devMap {
+			// chunkPin[p] = worst member view demand worker d can pin
+			// on physical device p at once.
+			chunkPin := make([]int64, len(tr.devMap))
+			for _, b := range s.Comm {
+				for mi, ci := range b.Members {
+					mine := false
+					for _, c := range b.Chunks {
+						if c.Member == mi && c.Reducer == d {
+							mine = true
+							break
+						}
+					}
+					if !mine {
+						continue
+					}
+					views := make([]int64, len(tr.devMap))
+					for i, in := range s.Collectives[ci].Inputs {
+						views[tr.pdev(i)] += in.Bytes
+					}
+					for p, v := range views {
+						if v > chunkPin[p] {
+							chunkPin[p] = v
+						}
+					}
+				}
+			}
+			for p := range need {
+				contrib := chunkPin[p]
+				if p == tr.pdev(d) && maxPin[d] > contrib {
+					contrib = maxPin[d]
+				}
+				need[p] += contrib
+			}
 		}
-		for p, b := range coll {
-			if b > need[p] {
-				need[p] = b
+	} else {
+		for d, p := range tr.devMap {
+			need[p] += maxPin[d]
+		}
+		for _, c := range s.Collectives {
+			coll := make([]int64, len(tr.devMap))
+			for i, in := range c.Inputs {
+				coll[tr.pdev(i)] += in.Bytes
+			}
+			for p, b := range coll {
+				if b > need[p] {
+					need[p] = b
+				}
 			}
 		}
 	}
@@ -821,7 +904,7 @@ func (tr *Trainer) Retune(req RetuneRequest) error {
 	if err != nil {
 		return fmt.Errorf("exec: retune: %w", err)
 	}
-	streams2, parties2, err := buildStreams(s2)
+	streams2, rdvTasks2, parties2, err := buildStreams(s2)
 	if err != nil {
 		return fmt.Errorf("exec: retune: %w", err)
 	}
@@ -832,7 +915,7 @@ func (tr *Trainer) Retune(req RetuneRequest) error {
 			return fmt.Errorf("exec: retune rejected by preflight verification (plan unchanged):\n%w", verr)
 		}
 	}
-	if err := validateStreams(g2.Tasks, streams2, parties2); err != nil {
+	if err := validateStreams(g2.Tasks, streams2, rdvTasks2, parties2); err != nil {
 		return fmt.Errorf("exec: retune: %w", err)
 	}
 	if err := tr.checkPinBudget(s2); err != nil {
@@ -858,7 +941,8 @@ func (tr *Trainer) Retune(req RetuneRequest) error {
 		o := opts
 		tr.cfg.Options = &o
 	}
-	tr.g, tr.s, tr.streams, tr.parties = g2, s2, streams2, parties2
+	tr.g, tr.s, tr.streams, tr.rdvTasks, tr.parties = g2, s2, streams2, rdvTasks2, parties2
+	tr.comm = buildCommPlan(s2)
 	tr.validated, tr.valErr = true, nil // validateStreams just passed
 	if heavy {
 		tr.vm.Close() // step boundary: WaitIdle already drained in-flight DMAs
@@ -1077,6 +1161,10 @@ func (tr *Trainer) runCollective(dev int, ar *graph.Task) error {
 	if err := tr.injectOp(fault.Collective, tr.pdev(dev), ar.Layer); err != nil {
 		return err
 	}
+	if r := tr.rec; r != nil && dev >= 0 {
+		start := tr.vm.clk.Now()
+		defer func() { r.add(tr.pdev(dev), trace.Comms, ar.String(), start, tr.vm.clk.Now()) }()
+	}
 	views := make([][]float32, n)
 	for i, in := range ar.Inputs {
 		v, err := tr.vm.Ensure(tr.pdev(i), in) // replica i trains on device i
@@ -1085,6 +1173,12 @@ func (tr *Trainer) runCollective(dev int, ar *graph.Task) error {
 		}
 		views[i] = v
 	}
+	// Remote gradient traffic crosses the modeled interconnect: the
+	// reducer pulls n-1 remote replicas' buffers and pushes the result
+	// back, all charged serially on this worker while every other
+	// participant parks — the all-park rendezvous pays the full link
+	// latency on the critical path.
+	tr.vm.linkSleep(2 * int64(n-1) * ar.Inputs[0].Bytes)
 	floats := int(ar.Inputs[0].Bytes / 4)
 	inv := float32(1) / float32(n)
 	grain := (1 << 16) / (2 * n) // ~64k scalar ops per chunk
@@ -1138,20 +1232,39 @@ func (tr *Trainer) freeAll(ts []*tensor.Tensor) error {
 
 // Predict runs a forward-only pass on device 0 with replica 0's
 // weights and returns the logits. Used by examples for evaluation.
+//
+// Per-layer output and stash buffers come from the shared kernel
+// scratch pool rather than fresh allocations, so repeated evaluation
+// loops stop churning the GC; every kernel fully overwrites its output
+// and stash (bias-init or direct assignment), so reuse is safe. Only
+// the returned logits are caller-owned.
 func (tr *Trainer) Predict(input []float32, batch int) ([]float32, error) {
 	if len(input) != batch*tr.inDim {
 		return nil, fmt.Errorf("exec: predict input %d floats, want %d", len(input), batch*tr.inDim)
 	}
 	x := input
+	var prev []float32 // pooled buffer holding x (nil for the input)
 	for l, layer := range tr.layers {
 		w, err := tr.vm.Host(tr.g.W[0][l])
 		if err != nil {
+			if prev != nil {
+				nn.PutScratch(prev)
+			}
 			return nil, err
 		}
-		y := make([]float32, batch*layer.OutSize())
-		stash := make([]float32, batch*layer.StashSize())
+		y := nn.GetScratch(batch * layer.OutSize())
+		stash := nn.GetScratch(batch * layer.StashSize())
 		layer.Forward(w, x, y, stash, batch)
-		x = y
+		nn.PutScratch(stash)
+		if prev != nil {
+			nn.PutScratch(prev)
+		}
+		x, prev = y, y
 	}
-	return x, nil
+	out := make([]float32, batch*tr.classes)
+	copy(out, x)
+	if prev != nil {
+		nn.PutScratch(prev)
+	}
+	return out, nil
 }

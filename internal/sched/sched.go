@@ -107,6 +107,24 @@ type Options struct {
 	// the stall, and Fig. 5's 3N|W| volume assumes strict adjacency.
 	DeferBlockedUpdates bool
 
+	// CommChunks splits each gradient collective into that many
+	// fixed, plan-time chunk rendezvous, each reduced by a
+	// deterministically assigned device worker (global chunk index k →
+	// worker k mod NGPUs), so reduce work spreads across workers and a
+	// worker whose chunks are done resumes compute while other chunks
+	// still reduce. 0 keeps the monolithic rendezvous. Only meaningful
+	// for data-parallel modes; sharded modes reject it (their gathers
+	// sit on the critical path by construction).
+	CommChunks int
+	// CommBucketBytes coalesces consecutive per-layer gradients (in
+	// reverse layer order, mirroring backward) into byte-budgeted
+	// buckets sharing one rendezvous, so tiny layers stop paying a
+	// rendezvous each (DDP-style bucketing). 0 keeps one bucket per
+	// layer. Setting it implies CommChunks >= 1. Bucketing regroups
+	// JIT updates: a bucket's updates are emitted together after the
+	// bucket's deepest member finishes its backward sweep.
+	CommBucketBytes int64
+
 	// GroupSize bounds how many microbatches one grouped task sweep
 	// covers (0 = all of them). It is the paper's §4 tango knob for
 	// pipeline mode: grouping the full mini-batch minimizes weight
@@ -173,6 +191,12 @@ type Schedule struct {
 	// Collectives holds AllReduce tasks; the runtime launches each
 	// as soon as its dependencies complete.
 	Collectives []*graph.Task
+	// Comm is the chunked/bucketed collective plan (nil when
+	// Opts.CommChunks == 0 or the plan has no gradient collectives).
+	// Bucket membership, chunk boundaries and reducer assignment are
+	// all pure functions of the plan — never arrival order — so the
+	// chunked path stays bit-exact with the monolithic one.
+	Comm []CommBucket
 
 	// StageOfLayer maps layer → stage for pipeline modes (nil for
 	// DP).
@@ -190,6 +214,18 @@ func (s *Schedule) Device(t *graph.Task) hw.DeviceID { return s.Assign[t.ID] }
 func Build(g *graph.Graph, opts Options, nGPUs int) (*Schedule, error) {
 	if nGPUs <= 0 {
 		return nil, fmt.Errorf("sched: nGPUs must be positive, got %d", nGPUs)
+	}
+	if opts.CommChunks < 0 || opts.CommBucketBytes < 0 {
+		return nil, fmt.Errorf("sched: comm knobs must be non-negative (chunks=%d, bucket=%d)",
+			opts.CommChunks, opts.CommBucketBytes)
+	}
+	if opts.CommBucketBytes > 0 && opts.CommChunks == 0 {
+		// Bucketing implies the chunked rendezvous machinery; one chunk
+		// per bucket is the degenerate-but-valid resolution.
+		opts.CommChunks = 1
+	}
+	if opts.CommChunks > 0 && opts.Mode.IsSharded() {
+		return nil, fmt.Errorf("sched: %s has no gradient AllReduce to chunk (gathers are on the critical path)", opts.Mode)
 	}
 	if opts.AdaptivePrefetch {
 		// Adaptive mode is a refinement of static prefetch: normalize
@@ -247,6 +283,11 @@ func Build(g *graph.Graph, opts Options, nGPUs int) (*Schedule, error) {
 	default:
 		return nil, fmt.Errorf("sched: unknown mode %v", opts.Mode)
 	}
+	if opts.CommChunks > 0 && len(s.Collectives) > 0 {
+		// Pipeline modes have no gradient collectives, so Comm stays
+		// nil there and the knob is an accepted no-op.
+		s.buildComm()
+	}
 	return s, nil
 }
 
@@ -265,6 +306,7 @@ func MustBuild(g *graph.Graph, opts Options, nGPUs int) *Schedule {
 func (s *Schedule) buildDP() {
 	g := s.Graph
 	R, m := g.Layers(), g.Cfg.Microbatches
+	updAfter := s.commUpdateGroups()
 	for r := 0; r < s.NGPUs; r++ {
 		dev := hw.DeviceID(r)
 		q := make([]*graph.Task, 0, R*m*2+R)
@@ -292,7 +334,9 @@ func (s *Schedule) buildDP() {
 						q = append(q, g.Bwd[r][l][i])
 					}
 					if s.Opts.JIT && w == 0 {
-						q = append(q, g.Upd[r][l])
+						for _, ul := range updAfter[l] {
+							q = append(q, g.Upd[r][ul])
+						}
 					}
 				}
 			}
@@ -305,7 +349,9 @@ func (s *Schedule) buildDP() {
 				for l := R - 1; l >= 0; l-- {
 					q = append(q, g.Bwd[r][l][i])
 					if s.Opts.JIT && i == m-1 {
-						q = append(q, g.Upd[r][l])
+						for _, ul := range updAfter[l] {
+							q = append(q, g.Upd[r][ul])
+						}
 					}
 				}
 			}

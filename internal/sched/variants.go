@@ -80,5 +80,22 @@ func OptionVariants(mode Mode, microbatches int) []Options {
 			out = append(out, a)
 		}
 	}
+	// Chunked collectives restructure the rendezvous, and bucketing
+	// additionally regroups JIT updates — both are plan shapes the
+	// checker must prove (sharded modes reject the knobs; pipeline
+	// plans have no gradient collectives, so they would be no-ops).
+	if !mode.IsPipeline() && !mode.IsSharded() {
+		for _, o := range out {
+			if o.Grouping && o.JIT && o.DirtyTracking && !o.Prefetch && o.GroupSize == 0 && !o.DeferBlockedUpdates {
+				c := o
+				c.CommChunks = 4
+				b := o
+				b.CommChunks = 4
+				b.CommBucketBytes = 1 << 20 // covers every layer: one multi-member bucket
+				out = append(out, c, b)
+				break
+			}
+		}
+	}
 	return out
 }

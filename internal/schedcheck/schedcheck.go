@@ -227,23 +227,81 @@ func checkShape(s *sched.Schedule, r *Report) bool {
 	if _, err := s.Graph.CheckAcyclic(); err != nil {
 		r.addf("plan", nil, "%v", err)
 	}
+	checkComm(s, r)
 	return len(r.Violations) == pre
 }
 
-// entry is one slot of a device's woven stream: a queue task or a
-// collective rendezvous (coll indexes Schedule.Collectives, -1 for
-// compute). The weave mirrors the executor's buildStreams but is
-// maintained independently — schedcheck is the check on the executor,
-// not a re-export of it.
-type entry struct {
-	t    *graph.Task
-	coll int
+// checkComm validates a chunked plan's comm structure (nil Comm is the
+// monolithic path and trivially passes): every collective belongs to
+// exactly one bucket, each member's element range is covered exactly
+// once by contiguous chunks, and every reducer is a real device. The
+// executor trusts these properties — a gap would silently skip
+// gradient elements, a bad reducer would orphan chunks — so they are
+// proven here, before anything runs.
+func checkComm(s *sched.Schedule, r *Report) {
+	if s.Comm == nil {
+		return
+	}
+	inBucket := make([]int, len(s.Collectives))
+	for bi, b := range s.Comm {
+		for _, ci := range b.Members {
+			if ci < 0 || ci >= len(s.Collectives) {
+				r.addf("plan", nil, "comm bucket %d member index %d out of range (%d collectives)", bi, ci, len(s.Collectives))
+				return
+			}
+			inBucket[ci]++
+		}
+		next := make([]int, len(b.Members))
+		for _, c := range b.Chunks {
+			if c.Member < 0 || c.Member >= len(b.Members) {
+				r.addf("plan", nil, "comm bucket %d chunk member %d out of range (%d members)", bi, c.Member, len(b.Members))
+				return
+			}
+			if c.Reducer < 0 || c.Reducer >= s.NGPUs {
+				r.addf("plan", nil, "comm bucket %d chunk reducer gpu%d out of range (%d devices)", bi, c.Reducer, s.NGPUs)
+			}
+			if c.Lo != next[c.Member] || c.Hi <= c.Lo {
+				r.addf("plan", nil, "comm bucket %d member %d chunk [%d,%d) not contiguous from element %d",
+					bi, c.Member, c.Lo, c.Hi, next[c.Member])
+			}
+			next[c.Member] = c.Hi
+		}
+		for mi, ci := range b.Members {
+			elems := int(s.Collectives[ci].CommBytes) / 4 // float32 elements
+			if next[mi] != elems {
+				r.addf("plan", nil, "comm bucket %d member %s chunks cover %d of %d elements",
+					bi, s.Collectives[ci], next[mi], elems)
+			}
+		}
+	}
+	for ci, n := range inBucket {
+		if n != 1 {
+			r.addf("plan", nil, "collective %s appears in %d comm buckets, want exactly 1", s.Collectives[ci], n)
+		}
+	}
 }
 
-// weave inserts each collective into every participating device's
-// stream, anchored immediately before the collective's first successor
-// on that device. Participant i of a collective is device i (replica
-// and shard i's tensors live there — the executor's binding rule).
+// entry is one slot of a device's woven stream: a queue task or a
+// collective rendezvous (coll indexes the rendezvous list, -1 for
+// compute). A rendezvous covers one collective on monolithic plans or
+// one comm bucket's members on chunked plans (Schedule.Comm); members
+// holds the covered collectives in plan order and t is the first of
+// them (the label used in counterexamples). The weave mirrors the
+// executor's buildStreams but is maintained independently — schedcheck
+// is the check on the executor, not a re-export of it.
+type entry struct {
+	t       *graph.Task
+	coll    int
+	members []*graph.Task
+}
+
+// weave inserts each collective rendezvous into every participating
+// device's stream, anchored immediately before the rendezvous's first
+// successor on that device (across all members, for bucketed plans —
+// the planner regroups the members' updates after the deepest member's
+// backward precisely so this single anchor precedes every one of
+// them). Participant i of a rendezvous is device i (replica and shard
+// i's tensors live there — the executor's binding rule).
 func weave(s *sched.Schedule, r *Report) ([][]entry, []int, bool) {
 	type qpos struct{ dev, idx int }
 	pos := make(map[int]qpos, len(s.Graph.Tasks))
@@ -252,33 +310,88 @@ func weave(s *sched.Schedule, r *Report) ([][]entry, []int, bool) {
 			pos[t.ID] = qpos{d, i}
 		}
 	}
-	parties := make([]int, len(s.Collectives))
+	var rdv [][]*graph.Task
+	if s.Comm != nil {
+		for _, b := range s.Comm {
+			members := make([]*graph.Task, len(b.Members))
+			for i, ci := range b.Members {
+				members[i] = s.Collectives[ci]
+			}
+			rdv = append(rdv, members)
+		}
+	} else {
+		for _, c := range s.Collectives {
+			rdv = append(rdv, []*graph.Task{c})
+		}
+	}
+	parties := make([]int, len(rdv))
 	anchors := make([]map[int][]int, s.NGPUs)
 	for d := range anchors {
 		anchors[d] = make(map[int][]int)
 	}
 	pre := len(r.Violations)
-	for ci, c := range s.Collectives {
-		n := len(c.Inputs)
-		if n == 0 || n > s.NGPUs {
-			r.addf("plan", nil, "collective %s has %d inputs for %d devices", c, n, s.NGPUs)
+	for ri, members := range rdv {
+		n := 0
+		bad := false
+		for _, c := range members {
+			if len(c.Inputs) == 0 || len(c.Inputs) > s.NGPUs {
+				r.addf("plan", nil, "collective %s has %d inputs for %d devices", c, len(c.Inputs), s.NGPUs)
+				bad = true
+			}
+			if n != 0 && len(c.Inputs) != n {
+				r.addf("plan", nil, "rendezvous %d members disagree on party count (%d vs %d)", ri, n, len(c.Inputs))
+				bad = true
+			}
+			n = len(c.Inputs)
+		}
+		if bad {
 			continue
 		}
-		parties[ci] = n
+		parties[ri] = n
 		for d := 0; d < n; d++ {
-			anchor := len(s.Queues[d])
-			for _, succ := range c.Succs {
-				if p, ok := pos[succ.ID]; ok && p.dev == d && p.idx < anchor {
-					anchor = p.idx
+			// Mirror the executor's anchor rule exactly: chunked
+			// rendezvous at the earliest legal point (right after the
+			// last member dependency on the device, so workers depart
+			// into later backwards while other chunks reduce);
+			// monolithic at the latest (right before the earliest
+			// member successor).
+			var anchor int
+			if s.Comm != nil {
+				anchor = 0
+				for _, c := range members {
+					for _, dep := range c.Deps {
+						if p, ok := pos[dep.ID]; ok && p.dev == d && p.idx+1 > anchor {
+							anchor = p.idx + 1
+						}
+					}
+				}
+			} else {
+				anchor = len(s.Queues[d])
+				for _, c := range members {
+					for _, succ := range c.Succs {
+						if p, ok := pos[succ.ID]; ok && p.dev == d && p.idx < anchor {
+							anchor = p.idx
+						}
+					}
+				}
+				for _, c := range members {
+					for _, dep := range c.Deps {
+						if p, ok := pos[dep.ID]; ok && p.dev == d && p.idx >= anchor {
+							r.addf("plan", nil, "collective %s on gpu%d depends on %s scheduled after the rendezvous's successors (precedence violation)",
+								c, d, dep)
+						}
+					}
 				}
 			}
-			for _, dep := range c.Deps {
-				if p, ok := pos[dep.ID]; ok && p.dev == d && p.idx >= anchor {
-					r.addf("plan", nil, "collective %s on gpu%d depends on %s scheduled after the collective's successors (precedence violation)",
-						c, d, dep)
+			for _, c := range members {
+				for _, succ := range c.Succs {
+					if p, ok := pos[succ.ID]; ok && p.dev == d && p.idx < anchor {
+						r.addf("plan", nil, "collective %s on gpu%d has successor %s scheduled before the rendezvous anchor (precedence violation)",
+							c, d, succ)
+					}
 				}
 			}
-			anchors[d][anchor] = append(anchors[d][anchor], ci)
+			anchors[d][anchor] = append(anchors[d][anchor], ri)
 		}
 	}
 	if len(r.Violations) != pre {
@@ -288,8 +401,8 @@ func weave(s *sched.Schedule, r *Report) ([][]entry, []int, bool) {
 	for d, q := range s.Queues {
 		st := make([]entry, 0, len(q))
 		for i := 0; i <= len(q); i++ {
-			for _, ci := range anchors[d][i] {
-				st = append(st, entry{t: s.Collectives[ci], coll: ci})
+			for _, ri := range anchors[d][i] {
+				st = append(st, entry{t: rdv[ri][0], coll: ri, members: rdv[ri]})
 			}
 			if i < len(q) {
 				st = append(st, entry{t: q[i], coll: -1})
@@ -302,10 +415,15 @@ func weave(s *sched.Schedule, r *Report) ([][]entry, []int, bool) {
 
 // replay runs the woven streams to a fixed point without executing
 // anything: a cursor advances when its head task's dependencies are
-// complete, a collective completes when all participants have parked
-// at it. This is the happens-before check: a stuck fixed point is a
-// deadlock (dependency precedence violation or rendezvous cycle), and
-// the completed prefix plus the blocked heads form the counterexample.
+// complete, a rendezvous completes when all participants have parked
+// at it AND every member's dependencies are met — completing it
+// finishes every member at once. (The chunked executor is weaker: it
+// releases each member as its last chunk retires and lets finished
+// workers depart early, so a plan that passes this conservative model
+// can only complete more easily at runtime.) This is the
+// happens-before check: a stuck fixed point is a deadlock (dependency
+// precedence violation or rendezvous cycle), and the completed prefix
+// plus the blocked heads form the counterexample.
 func replay(s *sched.Schedule, streams [][]entry, parties []int, r *Report) {
 	depsLeft := make([]int, len(s.Graph.Tasks))
 	total := 0
@@ -326,7 +444,7 @@ func replay(s *sched.Schedule, streams [][]entry, parties []int, r *Report) {
 		if dev >= 0 {
 			tl.Add(hw.DeviceID(dev), trace.Compute, t.String(), sim.Time(step), sim.Time(step+1))
 		} else {
-			// Collectives complete once; show the span on every
+			// Rendezvous complete once; show the span on every
 			// participant so the rendezvous ordering is visible.
 			for d := 0; d < len(streams); d++ {
 				if cursors[d] < len(streams[d]) && streams[d][cursors[d]].t == t {
@@ -335,6 +453,13 @@ func replay(s *sched.Schedule, streams [][]entry, parties []int, r *Report) {
 			}
 		}
 		step++
+	}
+	membersLeft := func(e entry) int {
+		left := 0
+		for _, m := range e.members {
+			left += depsLeft[m.ID]
+		}
+		return left
 	}
 	done := 0
 	for done < total {
@@ -350,10 +475,18 @@ func replay(s *sched.Schedule, streams [][]entry, parties []int, r *Report) {
 						progress = true
 					}
 					if !collDone[e.coll] {
-						if arrived[e.coll] == parties[e.coll] && depsLeft[e.t.ID] == 0 {
+						if arrived[e.coll] == parties[e.coll] && membersLeft(e) == 0 {
 							collDone[e.coll] = true
+							// finish the first member before advancing
+							// any cursor so the trace span lands on
+							// every parked participant.
 							finish(e.t, -1)
-							done++
+							for _, m := range e.members[1:] {
+								for _, succ := range m.Succs {
+									depsLeft[succ.ID]--
+								}
+							}
+							done += len(e.members)
 							progress = true
 						} else {
 							break // parked at the rendezvous
@@ -379,8 +512,12 @@ func replay(s *sched.Schedule, streams [][]entry, parties []int, r *Report) {
 				}
 				e := streams[d][cursors[d]]
 				why := fmt.Sprintf("%d deps left", depsLeft[e.t.ID])
-				if e.coll >= 0 && depsLeft[e.t.ID] == 0 {
-					why = fmt.Sprintf("rendezvous %d/%d arrived", arrived[e.coll], parties[e.coll])
+				if e.coll >= 0 {
+					if left := membersLeft(e); left > 0 {
+						why = fmt.Sprintf("%d member deps left", left)
+					} else {
+						why = fmt.Sprintf("rendezvous %d/%d arrived", arrived[e.coll], parties[e.coll])
+					}
 				}
 				stuck = append(stuck, fmt.Sprintf("gpu%d@%s(%s)", d, e.t, why))
 				tl.Add(hw.DeviceID(d), trace.Fault, "!"+e.t.String()+" "+why,
@@ -398,9 +535,13 @@ func replay(s *sched.Schedule, streams [][]entry, parties []int, r *Report) {
 // and rejects plans that cannot fit. The model mirrors the executor's
 // pin-budget rule exactly: one task in flight per stream (its inputs,
 // outputs and workspace pinned together) and, during a collective, the
-// per-device buffers of all parked participants. The prefetch budget
-// is reported as expected steady-state residency but never gates —
-// the async engine only ever claims spare capacity.
+// per-device buffers of all parked participants. Chunked plans
+// (Schedule.Comm) use the executor's additive rule instead: collectives
+// overlap compute there, so each worker may simultaneously hold either
+// its largest task pin or its largest assigned member's replica views —
+// per physical device, the demands sum across workers rather than max.
+// The prefetch budget is reported as expected steady-state residency
+// but never gates — the async engine only ever claims spare capacity.
 func checkResidency(s *sched.Schedule, topo Topology, r *Report) {
 	peak := make([]int64, s.NGPUs)
 	peakTask := make([]*graph.Task, s.NGPUs)
@@ -420,24 +561,71 @@ func checkResidency(s *sched.Schedule, topo Topology, r *Report) {
 			}
 		}
 	}
-	for _, c := range s.Collectives {
-		coll := make([]int64, s.NGPUs)
-		for i, in := range c.Inputs {
-			if i < s.NGPUs {
-				coll[i] += in.Bytes
-			}
-		}
-		if len(c.Outputs) == len(c.Inputs) {
-			// Gathers materialize a full output per shard device.
-			for i, out := range c.Outputs {
-				if i < s.NGPUs {
-					coll[i] += out.Bytes
+	if s.Comm != nil {
+		need := make([]int64, s.NGPUs)
+		for d := 0; d < s.NGPUs; d++ {
+			// chunkPin[p] = worst member view demand worker d can pin
+			// on device p at once (a chunk reduction pins all replica
+			// views of its member, each on its home device).
+			chunkPin := make([]int64, s.NGPUs)
+			for _, b := range s.Comm {
+				for mi, ci := range b.Members {
+					mine := false
+					for _, c := range b.Chunks {
+						if c.Member == mi && c.Reducer == d {
+							mine = true
+							break
+						}
+					}
+					if !mine {
+						continue
+					}
+					views := make([]int64, s.NGPUs)
+					for i, in := range s.Collectives[ci].Inputs {
+						if i < s.NGPUs {
+							views[i] += in.Bytes
+						}
+					}
+					for p, v := range views {
+						if v > chunkPin[p] {
+							chunkPin[p] = v
+						}
+					}
 				}
 			}
+			for p := range need {
+				contrib := chunkPin[p]
+				if p == d && peak[d] > contrib {
+					contrib = peak[d]
+				}
+				need[p] += contrib
+			}
 		}
-		for d, b := range coll {
-			if b > peak[d] {
-				peak[d], peakTask[d], peakIdx[d] = b, c, -1
+		for p, b := range need {
+			if b > peak[p] {
+				peak[p], peakTask[p], peakIdx[p] = b, nil, -1
+			}
+		}
+	} else {
+		for _, c := range s.Collectives {
+			coll := make([]int64, s.NGPUs)
+			for i, in := range c.Inputs {
+				if i < s.NGPUs {
+					coll[i] += in.Bytes
+				}
+			}
+			if len(c.Outputs) == len(c.Inputs) {
+				// Gathers materialize a full output per shard device.
+				for i, out := range c.Outputs {
+					if i < s.NGPUs {
+						coll[i] += out.Bytes
+					}
+				}
+			}
+			for d, b := range coll {
+				if b > peak[d] {
+					peak[d], peakTask[d], peakIdx[d] = b, c, -1
+				}
 			}
 		}
 	}
@@ -478,6 +666,9 @@ func checkResidency(s *sched.Schedule, topo Topology, r *Report) {
 				sim.Time(peakIdx[d]-lo), sim.Time(peakIdx[d]-lo+1))
 		}
 		what := "collective"
+		if s.Comm != nil {
+			what = "chunked collectives (additive demand across workers)"
+		}
 		if peakTask[d] != nil {
 			what = peakTask[d].String()
 		}

@@ -234,3 +234,83 @@ func TestTopologyNarrowerThanPlan(t *testing.T) {
 	r := Check(s, Topology{Devices: 1, DeviceBytes: 1 << 30})
 	wantViolation(t, r, "plan", false)
 }
+
+func commOpts(chunks int, bucket int64) sched.Options {
+	o := sched.DefaultOptions(sched.HarmonyDP)
+	o.CommChunks = chunks
+	o.CommBucketBytes = bucket
+	return o
+}
+
+// Chunked and bucketed plans pass every invariant. Any comm plan —
+// even single-member buckets — defers JIT updates past the next
+// bucket's backwards, which splits the bwd→upd adjacency runs the
+// closed forms assume, so the cross-check must skip rather than fail.
+func TestCommPlansChecked(t *testing.T) {
+	chunked := buildPlan(t, commOpts(4, 0), 6, 4, 2)
+	r := Check(chunked, roomy())
+	if !r.OK() {
+		t.Fatalf("chunked: %v", r.Err())
+	}
+	if r.AnalyticWeightBytes >= 0 {
+		t.Error("comm plan engaged a closed form; deferred updates break the adjacency runs it assumes")
+	}
+	bucketed := buildPlan(t, commOpts(4, 1<<20), 6, 4, 2)
+	r = Check(bucketed, roomy())
+	if !r.OK() {
+		t.Fatalf("bucketed: %v", r.Err())
+	}
+	if r.AnalyticWeightBytes >= 0 {
+		t.Error("multi-member bucket engaged a closed form; update regrouping breaks the adjacency runs it assumes")
+	}
+	if len(bucketed.Comm) != 1 || len(bucketed.Comm[0].Members) != 6 {
+		t.Fatalf("expected one 6-member bucket, got %+v", bucketed.Comm)
+	}
+}
+
+// A comm plan that no longer covers its collectives — a gap in a
+// member's chunks, or a collective missing from every bucket — must be
+// rejected as a plan violation before replay can mislead.
+func TestCommBrokenCoverageRejected(t *testing.T) {
+	s := buildPlan(t, commOpts(4, 0), 6, 2, 2)
+	s.Comm[0].Chunks = s.Comm[0].Chunks[1:] // open a gap at element 0
+	r := Check(s, roomy())
+	wantViolation(t, r, "plan", false)
+
+	s = buildPlan(t, commOpts(4, 1<<20), 6, 2, 2)
+	s.Comm[0].Members = s.Comm[0].Members[1:] // orphan one collective
+	r = Check(s, roomy())
+	wantViolation(t, r, "plan", false)
+
+	s = buildPlan(t, commOpts(4, 0), 6, 2, 2)
+	s.Comm[0].Chunks[0].Reducer = 99
+	r = Check(s, roomy())
+	wantViolation(t, r, "plan", false)
+}
+
+// Chunked residency is additive across workers (collectives overlap
+// compute), so the reported peak must exceed the monolithic model's
+// parked max, and a topology sized for the monolithic peak must be
+// rejected with the chunked demand named in the violation.
+func TestCommResidencyAdditive(t *testing.T) {
+	mono := Check(buildPlan(t, sched.DefaultOptions(sched.HarmonyDP), 6, 2, 2), roomy())
+	if !mono.OK() {
+		t.Fatal(mono.Err())
+	}
+	chunked := Check(buildPlan(t, commOpts(4, 0), 6, 2, 2), roomy())
+	if !chunked.OK() {
+		t.Fatal(chunked.Err())
+	}
+	for d := range chunked.PeakPinBytes {
+		if chunked.PeakPinBytes[d] <= mono.PeakPinBytes[d] {
+			t.Fatalf("gpu%d chunked peak %d not above monolithic %d; additive model not applied",
+				d, chunked.PeakPinBytes[d], mono.PeakPinBytes[d])
+		}
+	}
+	tight := Check(buildPlan(t, commOpts(4, 0), 6, 2, 2),
+		Topology{DeviceBytes: chunked.PeakPinBytes[0] - 1})
+	v := wantViolation(t, tight, "capacity", false)
+	if !strings.Contains(v.Msg, "chunked") {
+		t.Fatalf("violation does not name the chunked demand: %s", v.Msg)
+	}
+}

@@ -32,29 +32,40 @@ import (
 	"harmony/internal/tensor"
 )
 
-// classTensor returns the tensor of the given persistent kind that an
-// entry touches on device dev, or nil. Compute tasks touch at most one
-// tensor per persistent class (their own layer's); a collective
-// touches its per-device input.
-func classTensor(e entry, dev int, kind tensor.Kind) *tensor.Tensor {
+// touch is one contact an entry makes with a persistent tensor on a
+// device, and whether that contact dirties it.
+type touch struct {
+	t     *tensor.Tensor
+	dirty bool
+}
+
+// classTouches returns the tensors of the given persistent kind that
+// an entry touches on device dev, in touch order. Compute tasks touch
+// at most one tensor per persistent class (their own layer's); a
+// rendezvous touches each member's per-device input — one tensor per
+// member for a chunked bucket, in member (descending layer) order.
+func classTouches(e entry, dev int, kind tensor.Kind) []touch {
 	if e.coll >= 0 {
-		if dev < len(e.t.Inputs) && e.t.Inputs[dev].Kind == kind {
-			return e.t.Inputs[dev]
+		var out []touch
+		for _, m := range e.members {
+			if dev < len(m.Inputs) && m.Inputs[dev].Kind == kind {
+				out = append(out, touch{m.Inputs[dev], taskMutates(m, m.Inputs[dev])})
+			}
 		}
-		return nil
+		return out
 	}
 	for _, in := range e.t.Inputs {
 		if in.Kind == kind {
-			return in
+			return []touch{{in, taskMutates(e.t, in)}}
 		}
 	}
 	return nil
 }
 
-// mutatesTensor reports whether the entry marks t dirty.
-func mutatesTensor(e entry, t *tensor.Tensor) bool {
-	for _, mu := range e.t.Mutates {
-		if mu == t {
+// taskMutates reports whether the task marks x dirty.
+func taskMutates(t *graph.Task, x *tensor.Tensor) bool {
+	for _, mu := range t.Mutates {
+		if mu == x {
 			return true
 		}
 	}
@@ -72,19 +83,21 @@ func classVolume(entries []entry, dev int, kind tensor.Kind, dirtyTracking bool)
 	var runs []tensorRun
 	gapless := true
 	for _, e := range entries {
-		ct := classTensor(e, dev, kind)
-		if ct == nil {
+		ts := classTouches(e, dev, kind)
+		if len(ts) == 0 {
 			if e.coll >= 0 {
 				continue // transparent: pins its own shard, allocates nothing
 			}
 			gapless = false
 			continue
 		}
-		if n := len(runs); n > 0 && runs[n-1].t == ct {
-			runs[n-1].dirty = runs[n-1].dirty || mutatesTensor(e, ct)
-			continue
+		for _, tc := range ts {
+			if n := len(runs); n > 0 && runs[n-1].t == tc.t {
+				runs[n-1].dirty = runs[n-1].dirty || tc.dirty
+				continue
+			}
+			runs = append(runs, tensorRun{t: tc.t, dirty: tc.dirty})
 		}
-		runs = append(runs, tensorRun{t: ct, dirty: mutatesTensor(e, ct)})
 	}
 	switch {
 	case len(runs) == 0:
@@ -166,6 +179,15 @@ func checkVolume(s *sched.Schedule, entries [][]entry, r *Report) {
 func analyticMode(s *sched.Schedule) (analytic.Mode, bool) {
 	if s.Opts.Mode.IsSharded() {
 		return 0, false // no closed form for intra-op sharding
+	}
+	if s.Comm != nil {
+		// A comm plan defers each bucket's JIT updates past the next
+		// bucket's backwards (commUpdateGroups), splitting the bwd→upd
+		// adjacency runs the corrected forms assume — even when every
+		// bucket holds a single member. The simulated replay volume
+		// still cross-checks against the plan; only the closed forms
+		// are out of scope.
+		return 0, false
 	}
 	cfg := s.Graph.Cfg
 	m := cfg.Microbatches

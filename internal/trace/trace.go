@@ -38,9 +38,15 @@ const (
 	// budget resize, zero-width span at the step boundary where it
 	// was taken; the label says which knob moved and why).
 	Adapt
+	// Comms is the gradient-collective stream: one span per chunk
+	// reduction (or per whole collective on the monolithic path),
+	// attributed to the device worker that executed the reduction.
+	// Kept distinct from Compute so collective/compute overlap is
+	// visible at a glance and measurable (CommOverlapFraction).
+	Comms
 )
 
-var laneNames = [...]string{"compute", "swap-in", "swap-out", "p2p", "fault", "retry", "prefetch", "adapt"}
+var laneNames = [...]string{"compute", "swap-in", "swap-out", "p2p", "fault", "retry", "prefetch", "adapt", "comms"}
 
 func (l Lane) String() string {
 	if int(l) < len(laneNames) {
@@ -250,6 +256,67 @@ func UsageSparkline(points []UsagePoint, width int, capacity int64) string {
 		sb.WriteRune(levels[idx])
 	}
 	return sb.String()
+}
+
+// laneUnion returns the merged, sorted interval union of all spans on
+// the given lane across every device.
+func (tr *Trace) laneUnion(lane Lane) [][2]sim.Time {
+	var iv [][2]sim.Time
+	for _, e := range tr.Events {
+		if e.Lane == lane && e.End > e.Start {
+			iv = append(iv, [2]sim.Time{e.Start, e.End})
+		}
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	var out [][2]sim.Time
+	for _, v := range iv {
+		if n := len(out); n > 0 && v[0] <= out[n-1][1] {
+			if v[1] > out[n-1][1] {
+				out[n-1][1] = v[1]
+			}
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// CommOverlapFraction measures how much of the gradient-collective
+// work was hidden behind compute: the fraction of the Comms lane's
+// busy time (interval union across devices) during which at least one
+// device's Compute lane was also busy. A monolithic rendezvous — all
+// workers parked while the last arriver reduces — scores ~0; chunked
+// collectives that let finished workers continue their compute stream
+// score higher. Returns 0 when the trace has no Comms spans.
+func (tr *Trace) CommOverlapFraction() float64 {
+	comms := tr.laneUnion(Comms)
+	if len(comms) == 0 {
+		return 0
+	}
+	compute := tr.laneUnion(Compute)
+	var total, overlap sim.Time
+	j := 0
+	for _, c := range comms {
+		total += c[1] - c[0]
+		for ; j < len(compute) && compute[j][1] <= c[0]; j++ {
+		}
+		for k := j; k < len(compute) && compute[k][0] < c[1]; k++ {
+			lo, hi := compute[k][0], compute[k][1]
+			if lo < c[0] {
+				lo = c[0]
+			}
+			if hi > c[1] {
+				hi = c[1]
+			}
+			if hi > lo {
+				overlap += hi - lo
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(overlap) / float64(total)
 }
 
 // chromeEvent is one "complete" event in the Chrome tracing format

@@ -185,3 +185,43 @@ func TestChromeTrace(t *testing.T) {
 		t.Fatalf("dur = %v", evs[0]["dur"])
 	}
 }
+
+func TestCommOverlapFraction(t *testing.T) {
+	var empty Trace
+	if f := empty.CommOverlapFraction(); f != 0 {
+		t.Fatalf("empty trace overlap = %v", f)
+	}
+
+	// Comms [0,4) on dev 0; compute [1,2) on dev 1 and [3,6) on dev 0:
+	// 2 of 4 comm seconds overlap compute somewhere.
+	var tr Trace
+	tr.Add(0, Comms, "AR[L0]#0", 0, 4)
+	tr.Add(1, Compute, "B[L1]", 1, 2)
+	tr.Add(0, Compute, "B[L0]", 3, 6)
+	if f := tr.CommOverlapFraction(); f != 0.5 {
+		t.Fatalf("overlap = %v, want 0.5", f)
+	}
+
+	// Fully covered comms, including overlapping comm spans that must
+	// be unioned rather than double counted.
+	var full Trace
+	full.Add(0, Comms, "c", 0, 2)
+	full.Add(1, Comms, "c", 1, 3)
+	full.Add(2, Compute, "b", 0, 3)
+	if f := full.CommOverlapFraction(); f != 1 {
+		t.Fatalf("covered overlap = %v, want 1", f)
+	}
+
+	// No compute at all: monolithic barrier shape.
+	var bare Trace
+	bare.Add(0, Comms, "c", 0, 1)
+	if f := bare.CommOverlapFraction(); f != 0 {
+		t.Fatalf("bare overlap = %v, want 0", f)
+	}
+}
+
+func TestCommsLaneName(t *testing.T) {
+	if Comms.String() != "comms" {
+		t.Fatalf("Comms lane renders as %q", Comms.String())
+	}
+}

@@ -88,6 +88,22 @@ type TrainerConfig struct {
 	// default; a rejected plan fails NewTrainer with a counterexample
 	// trace.
 	NoVerify bool
+	// CommChunks splits each gradient AllReduce into that many
+	// independently retired chunks, spread across device workers in
+	// fixed k mod N order, so reduction overlaps backward compute
+	// instead of parking every worker at one rendezvous. Chunk
+	// boundaries and reducer assignment are fixed at plan time, and the
+	// per-element summation order never changes — results stay
+	// bit-identical to the monolithic path at every setting. 0 keeps
+	// the monolithic rendezvous; rejected for sharded (TP) modes.
+	CommChunks int
+	// CommBucketBytes coalesces small per-layer gradients into
+	// byte-budgeted buckets (DDP-style, packed in reverse layer order)
+	// that share one rendezvous; each bucket is then chunked per
+	// CommChunks (implied to 1 if unset). 0 keeps one bucket per
+	// layer. Bucketing regroups JIT weight updates after the bucket's
+	// deepest backward — queue order changes, math does not.
+	CommBucketBytes int64
 }
 
 // Trainer trains a real model through Harmony's runtime.
@@ -162,6 +178,8 @@ func NewTrainer(cfg TrainerConfig) (*Trainer, error) {
 		AdaptivePrefetch: cfg.AdaptivePrefetch,
 		LinkBytesPerSec:  cfg.LinkBytesPerSec,
 		NoVerify:         cfg.NoVerify,
+		CommChunks:       cfg.CommChunks,
+		CommBucketBytes:  cfg.CommBucketBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -225,6 +243,15 @@ type Stats = exec.VMStats
 
 // Stats returns accumulated data-movement counters.
 func (t *Trainer) Stats() Stats { return t.inner.Stats() }
+
+// CommStats reports chunked-collective counters: chunk reductions run
+// and per-replica bytes reduced. Zero on monolithic plans (CommChunks
+// unset). Alias of the internal executor's counters.
+type CommStats = exec.CommStats
+
+// CommStats returns accumulated chunked-collective counters. Safe to
+// call between Steps.
+func (t *Trainer) CommStats() CommStats { return t.inner.CommStats() }
 
 // OnFault installs an observer notified of every injected fault and
 // retry (for timelines and logging). The observer may be called from
@@ -328,6 +355,8 @@ func NewLeNetTrainer(cfg TrainerConfig) (*Trainer, error) {
 		AdaptivePrefetch: cfg.AdaptivePrefetch,
 		LinkBytesPerSec:  cfg.LinkBytesPerSec,
 		NoVerify:         cfg.NoVerify,
+		CommChunks:       cfg.CommChunks,
+		CommBucketBytes:  cfg.CommBucketBytes,
 	})
 	if err != nil {
 		return nil, err
