@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-contend bench-json bench-smoke bench-gate schedcheck fuzz check
+.PHONY: all build vet lint lint-self lint-budget test race bench bench-contend bench-json bench-smoke bench-gate schedcheck fuzz check
 
 all: check
 
@@ -16,12 +16,33 @@ vet:
 	$(GO) vet ./...
 
 # Static enforcement of the executor's concurrency and determinism
-# invariants (DESIGN.md §10): blocking under vm.mu, DMA claim-state
+# invariants (DESIGN.md §10, §15): blocking under vm.mu, DMA claim-state
 # writes outside the transition helpers, wall-clock/rand/map-order
-# nondeterminism in the deterministic core, mutex copies and leaked
-# goroutines. Runs from the module root; exits non-zero on findings.
+# nondeterminism in the deterministic core, mutex copies — plus the
+# interprocedural passes: the global lock-order graph, goroutine and
+# done-channel lifecycle, the claimword/schedcheck protocol cross-check
+# and call-chain taint flow. Runs from the module root; exits non-zero
+# on findings.
 lint: vet
 	$(GO) run ./cmd/harmonylint ./...
+
+# The linter analyzes itself: internal/analyzers is ordinary concurrent
+# Go and gets no exemption from its own rules.
+lint-self:
+	$(GO) run ./cmd/harmonylint ./internal/analyzers/...
+
+# Developer-loop latency guard for the full lint run. The
+# interprocedural engine (call-graph summaries + fixpoints) must stay
+# cheap next to the type-checking the lexical passes already paid for;
+# this fails if the whole run exceeds LINT_BUDGET seconds (~2x the
+# current measured wall time, with headroom for slower CI machines).
+LINT_BUDGET ?= 30
+lint-budget:
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/harmonylint ./... || exit $$?; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "harmonylint wall time: $${elapsed}s (budget $(LINT_BUDGET)s)"; \
+	[ $$elapsed -le $(LINT_BUDGET) ] || { echo "lint exceeded its wall-time budget"; exit 1; }
 
 test:
 	$(GO) test ./...

@@ -50,27 +50,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	cwd, _ := os.Getwd()
-	found := 0
-	for _, pkg := range pkgs {
-		if *verbose {
+	if *verbose {
+		for _, pkg := range pkgs {
 			fmt.Fprintf(os.Stderr, "harmonylint: %s (%d files)\n", pkg.Path, len(pkg.Files))
 		}
-		diags, err := analyzers.RunAll(pkg, analyzers.All()...)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "harmonylint: %v\n", err)
-			os.Exit(2)
-		}
-		for _, d := range diags {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-				d.Pos.Filename = rel
-			}
-			fmt.Println(d)
-			found++
-		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "harmonylint: %d finding(s)\n", found)
+	// One whole-program run: the interprocedural passes (lockorder,
+	// chanlife, determinism taint) need every package's summaries in a
+	// single call graph, and the diagnostics come back sorted by
+	// (file, line, column, analyzer) and deduplicated across packages,
+	// so CI logs are stable run-to-run.
+	diags, err := analyzers.RunProject(pkgs, analyzers.All()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harmonylint: %v\n", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "harmonylint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -20,8 +20,7 @@
 //     global state, and map iteration inside the deterministic core
 //     (internal/sched, internal/exec, internal/nn, internal/fault).
 //   - hygiene: lock-containing values copied by value (params,
-//     results, range copies, assignments) and goroutines launched with
-//     no shutdown path.
+//     results, range copies, assignments).
 //   - errcheck: error returns from the VM / memory-manager / DMA
 //     surface dropped inside internal/exec (bare-statement calls,
 //     blank assignments, go/defer drops).
@@ -29,7 +28,29 @@
 //     iteration lexically inside adaptation/retune decision functions
 //     (names matching adapt|retune) in internal/exec and
 //     internal/tuner — the tuner may measure wall time, but its
-//     decisions must replay from logged inputs alone.
+//     decisions must replay from logged inputs alone. The
+//     interprocedural upgrade also traces tainted values through call
+//     chains into the deterministic core and adaptation decisions.
+//   - lockorder: the global lock-acquisition graph built from
+//     interprocedural summaries — cycles, recursive acquisitions, and
+//     same-class shard nesting outside the documented ascending-device
+//     order are rejected at any call depth.
+//   - chanlife: every spawned goroutine must reach a shutdown
+//     construct (channel receive/range, select, WaitGroup.Done,
+//     Cond.Wait) at some call depth, and done-named channels must
+//     deliver their completion signal exactly once (closed or
+//     single-sender, never both). Replaces hygiene's shallow ctxleak.
+//   - atomicproto: extracts the claim/commit/settle/pin transition
+//     table from internal/claimword's source by AST interpretation and
+//     cross-checks it field-by-field against the independent spec
+//     table the schedcheck DMA model explores; editing either side
+//     alone trips the gate.
+//
+// The per-function summaries behind the interprocedural passes (locks
+// acquired/released, channels sent/closed, goroutines spawned,
+// claimword transitions invoked, taint sources reached) live in
+// interproc.go; lockorder, chanlife and the determinism taint upgrade
+// are RunProject analyzers over that call graph.
 //
 // The framework below is a self-contained, offline re-implementation
 // of the golang.org/x/tools/go/analysis surface this module needs
@@ -57,8 +78,10 @@ import (
 	"strings"
 )
 
-// An Analyzer is one static check. Run inspects a type-checked package
-// through the Pass and reports findings with Pass.Reportf.
+// An Analyzer is one static check. Run inspects one type-checked
+// package through the Pass; RunProject inspects the whole loaded
+// program — every package plus the interprocedural summaries — through
+// the ProjectPass. An analyzer may define either or both.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and in
 	// //lint:allow directives. Lowercase, no spaces.
@@ -66,8 +89,11 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the analyzer
 	// enforces and why.
 	Doc string
-	// Run performs the analysis.
+	// Run performs the per-package analysis (may be nil).
 	Run func(*Pass) error
+	// RunProject performs the whole-program analysis over the
+	// interprocedural summaries (may be nil).
+	RunProject func(*ProjectPass) error
 }
 
 // A Pass presents one type-checked package to an Analyzer.
@@ -103,7 +129,28 @@ func (d Diagnostic) String() string {
 
 // All returns the full harmonylint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Lockhold, ClaimDiscipline, Determinism, Hygiene, Errcheck, AdaptInputs}
+	return []*Analyzer{
+		Lockhold, ClaimDiscipline, Determinism, Hygiene, Errcheck, AdaptInputs,
+		Lockorder, Chanlife, Atomicproto,
+	}
+}
+
+// A ProjectPass presents the whole loaded program — every package and
+// the interprocedural summaries — to an Analyzer's RunProject.
+type ProjectPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProjectPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // ---------------------------------------------------------- directives
@@ -148,36 +195,84 @@ func (d *directive) covers(a string, pos token.Position) bool {
 		(d.pos.Line == pos.Line || d.pos.Line == pos.Line-1)
 }
 
-// RunAll runs the given analyzers over one loaded package, applies the
-// //lint:allow directives, and appends directive-hygiene findings
-// (missing reason, unknown analyzer, suppressing nothing). Returned
-// diagnostics are sorted by position.
+// RunAll runs the given analyzers over one loaded package. It is the
+// single-package form of RunProject, kept for the fixture runner and
+// for callers that load packages one at a time.
 func RunAll(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
-	ds := parseDirectives(pkg.Fset, pkg.Files)
-	known := make(map[string]bool)
-	var out []Diagnostic
+	return RunProject([]*Package{pkg}, analyzers...)
+}
+
+// RunProject runs the given analyzers over the whole loaded program:
+// per-package passes over each package, whole-program passes over the
+// interprocedural summaries built from all of them together. It then
+// applies the //lint:allow directives collected across every package
+// and appends directive-hygiene findings (missing reason, unknown
+// analyzer, suppressing nothing).
+//
+// Directive hygiene is judged against the full roster and the full
+// run: a directive naming any analyzer in All() is "known" even when
+// this invocation runs a subset (the fixture runner runs one analyzer
+// at a time; a fixture's directive for a sibling analyzer is not a
+// typo), and staleness is only provable for directives whose analyzer
+// actually ran here — and then only after every package and the
+// whole-program passes have reported, since an interprocedural
+// diagnostic can be suppressed by a directive in a different package
+// than the one that triggered the walk.
+//
+// Returned diagnostics are sorted by (file, line, column, analyzer)
+// and exact repeats are deduplicated, so output is stable run-to-run
+// regardless of package enumeration or summary iteration order.
+func RunProject(pkgs []*Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var ds []*directive
+	for _, pkg := range pkgs {
+		ds = append(ds, parseDirectives(pkg.Fset, pkg.Files)...)
+	}
+	known := map[string]bool{"lint": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ran := make(map[string]bool)
+	var prog *Program
+	var all []Diagnostic
 	for _, a := range analyzers {
 		known[a.Name] = true
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-		}
-	diags:
-		for _, diag := range pass.diags {
-			for _, d := range ds {
-				if d.covers(a.Name, diag.Pos) {
-					d.used = true
-					continue diags
+		ran[a.Name] = true
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
 				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				}
+				all = append(all, pass.diags...)
 			}
-			out = append(out, diag)
 		}
+		if a.RunProject != nil {
+			if prog == nil {
+				prog = BuildProgram(pkgs)
+			}
+			pass := &ProjectPass{Analyzer: a, Prog: prog}
+			if err := a.RunProject(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			all = append(all, pass.diags...)
+		}
+	}
+	var out []Diagnostic
+diags:
+	for _, diag := range all {
+		for _, d := range ds {
+			if d.covers(diag.Analyzer, diag.Pos) {
+				d.used = true
+				continue diags
+			}
+		}
+		out = append(out, diag)
 	}
 	for _, d := range ds {
 		switch {
@@ -187,22 +282,42 @@ func RunAll(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 		case d.reason == "":
 			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "lint",
 				Message: fmt.Sprintf("//lint:allow %s has no reason; every exception must be explained", d.analyzer)})
-		case !d.used:
+		case !d.used && ran[d.analyzer]:
 			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "lint",
 				Message: fmt.Sprintf("//lint:allow %s suppresses nothing; remove the stale directive", d.analyzer)})
 		}
 	}
+	return dedupeSorted(out), nil
+}
+
+// dedupeSorted orders diagnostics by (file, line, column, analyzer,
+// message) and drops exact repeats — e.g. the same interprocedural
+// edge witnessed from two walks.
+func dedupeSorted(out []Diagnostic) []Diagnostic {
 	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Column < b.Column
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out, nil
+	dst := out[:0]
+	for i, d := range out {
+		if i > 0 && d == out[i-1] {
+			continue
+		}
+		dst = append(dst, d)
+	}
+	return dst
 }
 
 // ------------------------------------------------------- type helpers

@@ -31,6 +31,7 @@ func TestAllNames(t *testing.T) {
 	want := map[string]bool{
 		"lockhold": true, "claimdiscipline": true, "determinism": true, "hygiene": true,
 		"errcheck": true, "adaptinputs": true,
+		"lockorder": true, "chanlife": true, "atomicproto": true,
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -40,7 +41,7 @@ func TestAllNames(t *testing.T) {
 		if !want[a.Name] {
 			t.Errorf("unexpected analyzer %q", a.Name)
 		}
-		if a.Doc == "" || a.Run == nil {
+		if a.Doc == "" || (a.Run == nil && a.RunProject == nil) {
 			t.Errorf("analyzer %q missing doc or run", a.Name)
 		}
 	}

@@ -1,0 +1,491 @@
+package analyzers
+
+// Atomicproto proves that internal/claimword's source and the
+// transition table schedcheck's DMA model explores describe the same
+// machine. The model applies claimword's compiled transitions, so a
+// test alone cannot catch claimword drifting — the model drifts with
+// it. schedcheck therefore declares the machine a second time as an
+// independent spec (schedcheck.ProtoTable), and this pass extracts the
+// transition table from claimword's SOURCE by abstract interpretation
+// of its pure functions — no execution, no import of the code under
+// check — and diffs the two field by field: same accepted states, same
+// produced words, same flag effects, over the whole bounded domain
+// (every state × flag combination × pin count 0–2, every argument
+// tuple).
+//
+// The claimword functions are deliberately pure and first-order —
+// if/switch/return, integer bit-ops, method calls on Word — which is
+// what makes exact extraction tractable. If a future edit introduces a
+// construct the interpreter cannot evaluate, that is reported too:
+// "cannot extract" is a gate failure, not a silent skip, so the
+// protocol can never drift out from under the verifier unnoticed.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"harmony/internal/schedcheck"
+)
+
+var Atomicproto = &Analyzer{
+	Name: "atomicproto",
+	Doc: "extract the claim/commit/settle/pin transition table from internal/claimword's source " +
+		"and cross-check it field-by-field against the table schedcheck's DMA model explores",
+	Run: runAtomicproto,
+}
+
+func runAtomicproto(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !isClaimwordPath(path) && path != "atomicproto" {
+		return nil
+	}
+	in := newWordInterp(pass)
+	for _, op := range schedcheck.ProtoOps() {
+		fd := in.funcs[op.Name]
+		if fd == nil {
+			pass.Reportf(pass.Files[0].Package,
+				"claimword transition %s is missing, but the schedcheck DMA model declares it; the code and the model must describe the same machine", op.Name)
+		}
+	}
+	type mismatch struct {
+		total, bad int
+		first      *schedcheck.ProtoEntry
+		got        uint64
+		gotOK      bool
+	}
+	mm := make(map[string]*mismatch)
+	table := schedcheck.ProtoTable()
+	for i := range table {
+		e := &table[i]
+		fd := in.funcs[e.Op]
+		if fd == nil {
+			continue // already reported above
+		}
+		m := mm[e.Op]
+		if m == nil {
+			m = &mismatch{}
+			mm[e.Op] = m
+		}
+		m.total++
+		got, ok, err := in.apply(fd, e.In, e.Args)
+		if err != nil {
+			pass.Reportf(fd.Pos(),
+				"cannot extract %s's transition table from source (%v); keep claimword's transitions pure and first-order so the protocol stays verifiable", e.Op, err)
+			delete(mm, e.Op)
+			in.funcs[e.Op] = nil // stop after first extraction error per op
+			continue
+		}
+		if m.bad == 0 && (got != e.Out || ok != e.OK) {
+			m.first, m.got, m.gotOK = e, got, ok
+		}
+		if got != e.Out || ok != e.OK {
+			m.bad++
+		}
+	}
+	for _, op := range schedcheck.ProtoOps() {
+		m := mm[op.Name]
+		if m == nil || m.bad == 0 {
+			continue
+		}
+		e := m.first
+		pass.Reportf(in.funcs[op.Name].Pos(),
+			"claimword %s diverges from the schedcheck DMA-model table on %d/%d transitions; first: %s(word %#x%s) = (%#x, %v) in source, (%#x, %v) in the model — the code and the model must change together",
+			op.Name, m.bad, m.total, op.Name, e.In, argList(op, e.Args), m.got, m.gotOK, e.Out, e.OK)
+	}
+	return nil
+}
+
+func argList(op schedcheck.ProtoOp, args []int64) string {
+	s := ""
+	for i, a := range args {
+		name := ""
+		if i < len(op.ArgNames) {
+			name = op.ArgNames[i] + "="
+		}
+		s += fmt.Sprintf(", %s%d", name, a)
+	}
+	return s
+}
+
+// ------------------------------------------------- the word interpreter
+
+// wordInterp abstractly interprets claimword's pure transition
+// functions. Values are int64 (the bounded domain keeps every
+// intermediate far below 2^28, so signedness never bites); booleans
+// are 0/1.
+type wordInterp struct {
+	pass    *Pass
+	funcs   map[string]*ast.FuncDecl // package-level functions
+	methods map[string]*ast.FuncDecl // methods on the Word type
+}
+
+func newWordInterp(pass *Pass) *wordInterp {
+	in := &wordInterp{
+		pass:    pass,
+		funcs:   make(map[string]*ast.FuncDecl),
+		methods: make(map[string]*ast.FuncDecl),
+	}
+	forEachFunc(pass.Files, func(fd *ast.FuncDecl) {
+		if fd.Recv == nil {
+			in.funcs[fd.Name.Name] = fd
+			return
+		}
+		t := pass.Info.TypeOf(fd.Recv.List[0].Type)
+		if namedHere(t, "Word") {
+			in.methods[fd.Name.Name] = fd
+		}
+	})
+	return in
+}
+
+// namedHere reports a (possibly pointer-to) named type with the given
+// name, whatever package it is being checked in.
+func namedHere(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == name
+}
+
+// apply runs one transition function on (word, args) and returns its
+// (Word, bool) results.
+func (in *wordInterp) apply(fd *ast.FuncDecl, word uint64, args []int64) (uint64, bool, error) {
+	env := make(map[string]int64)
+	params := flattenFields(fd.Type.Params)
+	if len(params) != len(args)+1 {
+		return 0, false, fmt.Errorf("%s takes %d parameters, model supplies %d", fd.Name.Name, len(params), len(args)+1)
+	}
+	env[params[0]] = int64(word)
+	for i, a := range args {
+		env[params[i+1]] = a
+	}
+	rets, err := in.execStmts(fd.Body.List, env)
+	if err != nil {
+		return 0, false, err
+	}
+	if rets == nil {
+		return 0, false, fmt.Errorf("%s fell off the end without returning", fd.Name.Name)
+	}
+	if len(rets) != 2 {
+		return 0, false, fmt.Errorf("%s returned %d values, want (Word, bool)", fd.Name.Name, len(rets))
+	}
+	return uint64(rets[0]), rets[1] != 0, nil
+}
+
+func flattenFields(fl *ast.FieldList) []string {
+	var names []string
+	if fl == nil {
+		return nil
+	}
+	for _, f := range fl.List {
+		for _, n := range f.Names {
+			names = append(names, n.Name)
+		}
+	}
+	return names
+}
+
+// execStmts executes statements; a non-nil result slice is the
+// function's return values.
+func (in *wordInterp) execStmts(list []ast.Stmt, env map[string]int64) ([]int64, error) {
+	for _, s := range list {
+		rets, err := in.execStmt(s, env)
+		if err != nil || rets != nil {
+			return rets, err
+		}
+	}
+	return nil, nil
+}
+
+func (in *wordInterp) execStmt(s ast.Stmt, env map[string]int64) ([]int64, error) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		var out []int64
+		for _, e := range s.Results {
+			v, err := in.eval(e, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		if out == nil {
+			out = []int64{} // non-nil: "returned, zero values"
+		}
+		return out, nil
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if _, err := in.execStmt(s.Init, env); err != nil {
+				return nil, err
+			}
+		}
+		cond, err := in.eval(s.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if cond != 0 {
+			return in.execStmts(s.Body.List, env)
+		}
+		if s.Else != nil {
+			return in.execStmt(s.Else, env)
+		}
+		return nil, nil
+	case *ast.BlockStmt:
+		return in.execStmts(s.List, env)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return nil, fmt.Errorf("unsupported multi-assign at %s", in.posOf(s.Pos()))
+		}
+		id, ok := s.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil, fmt.Errorf("unsupported assignment target at %s", in.posOf(s.Pos()))
+		}
+		v, err := in.eval(s.Rhs[0], env)
+		if err != nil {
+			return nil, err
+		}
+		switch s.Tok {
+		case token.ASSIGN, token.DEFINE:
+			env[id.Name] = v
+		case token.OR_ASSIGN:
+			env[id.Name] |= v
+		case token.AND_ASSIGN:
+			env[id.Name] &= v
+		case token.AND_NOT_ASSIGN:
+			env[id.Name] &^= v
+		case token.ADD_ASSIGN:
+			env[id.Name] += v
+		case token.SUB_ASSIGN:
+			env[id.Name] -= v
+		case token.XOR_ASSIGN:
+			env[id.Name] ^= v
+		default:
+			return nil, fmt.Errorf("unsupported assignment %s at %s", s.Tok, in.posOf(s.Pos()))
+		}
+		return nil, nil
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			if _, err := in.execStmt(s.Init, env); err != nil {
+				return nil, err
+			}
+		}
+		var tag int64 = 1 // tagless switch: first true case wins
+		if s.Tag != nil {
+			v, err := in.eval(s.Tag, env)
+			if err != nil {
+				return nil, err
+			}
+			tag = v
+		}
+		var deflt *ast.CaseClause
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				deflt = cc
+				continue
+			}
+			for _, e := range cc.List {
+				v, err := in.eval(e, env)
+				if err != nil {
+					return nil, err
+				}
+				if v == tag {
+					return in.execStmts(cc.Body, env)
+				}
+			}
+		}
+		if deflt != nil {
+			return in.execStmts(deflt.Body, env)
+		}
+		return nil, nil
+	case *ast.ExprStmt:
+		_, err := in.eval(s.X, env)
+		return nil, err
+	default:
+		return nil, fmt.Errorf("unsupported statement %T at %s", s, in.posOf(s.Pos()))
+	}
+}
+
+func (in *wordInterp) posOf(p token.Pos) string {
+	pos := in.pass.Fset.Position(p)
+	return fmt.Sprintf("%s:%d", shortFile(pos.Filename), pos.Line)
+}
+
+// eval evaluates one expression. Constants (stateMask, FlagAsync,
+// NeedEmpty, pinLimit, untyped literals) come straight from the type
+// checker's folded values, so the interpreter never re-implements
+// constant arithmetic.
+func (in *wordInterp) eval(e ast.Expr, env map[string]int64) (int64, error) {
+	if tv, ok := in.pass.Info.Types[e]; ok && tv.Value != nil {
+		switch tv.Value.Kind() {
+		case constant.Int:
+			v, exact := constant.Int64Val(tv.Value)
+			if !exact {
+				return 0, fmt.Errorf("constant overflows int64 at %s", in.posOf(e.Pos()))
+			}
+			return v, nil
+		case constant.Bool:
+			if constant.BoolVal(tv.Value) {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("unsupported constant kind at %s", in.posOf(e.Pos()))
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "true" {
+			return 1, nil
+		}
+		if e.Name == "false" {
+			return 0, nil
+		}
+		v, ok := env[e.Name]
+		if !ok {
+			return 0, fmt.Errorf("unbound identifier %s at %s", e.Name, in.posOf(e.Pos()))
+		}
+		return v, nil
+	case *ast.ParenExpr:
+		return in.eval(e.X, env)
+	case *ast.UnaryExpr:
+		v, err := in.eval(e.X, env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case token.NOT:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case token.SUB:
+			return -v, nil
+		case token.ADD:
+			return v, nil
+		}
+		return 0, fmt.Errorf("unsupported unary %s at %s", e.Op, in.posOf(e.Pos()))
+	case *ast.BinaryExpr:
+		return in.binary(e, env)
+	case *ast.CallExpr:
+		return in.callExpr(e, env)
+	case *ast.SelectorExpr:
+		// Qualified constant from another package would land here if
+		// not folded; claimword has none.
+		return 0, fmt.Errorf("unsupported selector %s at %s", exprString(e), in.posOf(e.Pos()))
+	}
+	return 0, fmt.Errorf("unsupported expression %T at %s", e, in.posOf(e.Pos()))
+}
+
+func (in *wordInterp) binary(e *ast.BinaryExpr, env map[string]int64) (int64, error) {
+	x, err := in.eval(e.X, env)
+	if err != nil {
+		return 0, err
+	}
+	// Short-circuit before evaluating the right side, matching Go.
+	switch e.Op {
+	case token.LAND:
+		if x == 0 {
+			return 0, nil
+		}
+	case token.LOR:
+		if x != 0 {
+			return 1, nil
+		}
+	}
+	y, err := in.eval(e.Y, env)
+	if err != nil {
+		return 0, err
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch e.Op {
+	case token.AND:
+		return x & y, nil
+	case token.OR:
+		return x | y, nil
+	case token.XOR:
+		return x ^ y, nil
+	case token.AND_NOT:
+		return x &^ y, nil
+	case token.SHL:
+		return x << uint(y), nil
+	case token.SHR:
+		return x >> uint(y), nil
+	case token.ADD:
+		return x + y, nil
+	case token.SUB:
+		return x - y, nil
+	case token.MUL:
+		return x * y, nil
+	case token.EQL:
+		return b2i(x == y), nil
+	case token.NEQ:
+		return b2i(x != y), nil
+	case token.LSS:
+		return b2i(x < y), nil
+	case token.GTR:
+		return b2i(x > y), nil
+	case token.LEQ:
+		return b2i(x <= y), nil
+	case token.GEQ:
+		return b2i(x >= y), nil
+	case token.LAND:
+		return b2i(y != 0), nil
+	case token.LOR:
+		return b2i(y != 0), nil
+	}
+	return 0, fmt.Errorf("unsupported operator %s at %s", e.Op, in.posOf(e.Pos()))
+}
+
+func (in *wordInterp) callExpr(call *ast.CallExpr, env map[string]int64) (int64, error) {
+	// Type conversion (Word(x), State(x), int(x)): identity on the
+	// int64 domain.
+	if tv, ok := in.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return 0, fmt.Errorf("unsupported conversion at %s", in.posOf(call.Pos()))
+		}
+		return in.eval(call.Args[0], env)
+	}
+	// Method call on a Word value: w.State(), w.Pins(), n.withPins(p).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		fd := in.methods[sel.Sel.Name]
+		if fd == nil {
+			return 0, fmt.Errorf("call to unextractable method %s at %s", sel.Sel.Name, in.posOf(call.Pos()))
+		}
+		recv, err := in.eval(sel.X, env)
+		if err != nil {
+			return 0, err
+		}
+		menv := make(map[string]int64)
+		if names := flattenFields(fd.Recv); len(names) == 1 {
+			menv[names[0]] = recv
+		}
+		params := flattenFields(fd.Type.Params)
+		if len(params) != len(call.Args) {
+			return 0, fmt.Errorf("argument count mismatch calling %s at %s", sel.Sel.Name, in.posOf(call.Pos()))
+		}
+		for i, a := range call.Args {
+			v, err := in.eval(a, env)
+			if err != nil {
+				return 0, err
+			}
+			menv[params[i]] = v
+		}
+		rets, err := in.execStmts(fd.Body.List, menv)
+		if err != nil {
+			return 0, err
+		}
+		if len(rets) != 1 {
+			return 0, fmt.Errorf("%s returned %d values inside an expression at %s", sel.Sel.Name, len(rets), in.posOf(call.Pos()))
+		}
+		return rets[0], nil
+	}
+	return 0, fmt.Errorf("unsupported call at %s", in.posOf(call.Pos()))
+}

@@ -1,0 +1,114 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicproto(t *testing.T) {
+	diags := runFixture(t, "atomicproto", Atomicproto)
+	mustDiag(t, diags, "atomicproto", `Commit diverges from the schedcheck DMA-model table`)
+}
+
+// TestAtomicprotoCleanClaimword is one half of the two-sided gate: the
+// real internal/claimword source must extract cleanly and match the
+// schedcheck spec table on every transition. (The other half,
+// schedcheck's TestProtoTableMatchesClaimword, diffs the spec against
+// the compiled functions; together they pin source, binary and model
+// to one machine.)
+func TestAtomicprotoCleanClaimword(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/claimword")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	diags, err := RunAll(pkgs[0], Atomicproto)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("real claimword should match the spec table, got:\n%s", diagDump(diags))
+	}
+}
+
+// mutateClaimword copies the real claimword source into a temp
+// directory with old replaced by new, and returns the loaded package.
+func mutateClaimword(t *testing.T, old, new string) *Package {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "claimword", "claimword.go"))
+	if err != nil {
+		t.Fatalf("reading claimword source: %v", err)
+	}
+	if !strings.Contains(string(src), old) {
+		t.Fatalf("claimword source no longer contains %q; update the mutation", old)
+	}
+	dir := t.TempDir()
+	mutated := strings.Replace(string(src), old, new, 1)
+	if err := os.WriteFile(filepath.Join(dir, "claimword.go"), []byte(mutated), 0o644); err != nil {
+		t.Fatalf("writing mutated source: %v", err)
+	}
+	pkg, err := LoadDir(dir, "claimword")
+	if err != nil {
+		t.Fatalf("loading mutated claimword: %v", err)
+	}
+	return pkg
+}
+
+// TestAtomicprotoSeededMutations edits claimword's SOURCE alone (the
+// spec table stays put) and proves the gate trips — the scenario the
+// pass exists for: a protocol change that forgot to update the model.
+func TestAtomicprotoSeededMutations(t *testing.T) {
+	cases := []struct {
+		name, old, new, want string
+	}{
+		{
+			name: "commit drops committed flag",
+			old:  "n := w | FlagResident | FlagCommitted",
+			new:  "n := w | FlagResident",
+			want: `claimword Commit diverges from the schedcheck DMA-model table on \d+/\d+ transitions`,
+		},
+		{
+			name: "claim stops checking pins for NeedUnpinned",
+			old:  "case NeedUnpinned:\n\t\tif w.Pins() > 0 {",
+			new:  "case NeedUnpinned:\n\t\tif w.Pins() > 1 {",
+			want: `claimword Claim diverges from the schedcheck DMA-model table`,
+		},
+		{
+			name: "settle keeps prefetched on residency loss",
+			old:  "n &^= FlagResident | FlagPrefetched",
+			new:  "n &^= FlagResident",
+			want: `claimword Settle diverges from the schedcheck DMA-model table`,
+		},
+		{
+			name: "unextractable construct is a gate failure, not a skip",
+			old:  "if w.Pins() == 0 {\n\t\treturn w, false\n\t}",
+			new:  "for w.Pins() == 0 {\n\t\treturn w, false\n\t}",
+			want: `cannot extract Unpin's transition table from source`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := mutateClaimword(t, tc.old, tc.new)
+			diags, err := RunAll(pkg, Atomicproto)
+			if err != nil {
+				t.Fatalf("RunAll: %v", err)
+			}
+			mustDiag(t, diags, "atomicproto", tc.want)
+		})
+	}
+}
+
+// TestAtomicprotoMissingTransition: deleting a transition the model
+// declares is reported, not silently accepted.
+func TestAtomicprotoMissingTransition(t *testing.T) {
+	pkg := mutateClaimword(t, "func Unpin(w Word) (Word, bool) {", "func unpinRenamed(w Word) (Word, bool) {")
+	diags, err := RunAll(pkg, Atomicproto)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	mustDiag(t, diags, "atomicproto", `claimword transition Unpin is missing, but the schedcheck DMA model declares it`)
+}

@@ -1,0 +1,11 @@
+package analyzers
+
+import "testing"
+
+func TestChanlife(t *testing.T) {
+	diags := runFixture(t, "chanlife", Chanlife)
+	// Regression pins: one per rule.
+	mustDiag(t, diags, "chanlife", `no shutdown path at any call depth`)
+	mustDiag(t, diags, "chanlife", `send on done-channel`)
+	mustDiag(t, diags, "chanlife", `sending functions`)
+}

@@ -30,11 +30,21 @@ import (
 //
 // Uses with no scheduling consequence (pure logging, trace recording)
 // are documented case by case with //lint:allow determinism <reason>.
+//
+// The per-package pass is lexical; the whole-program pass adds
+// summary-based taint flow on top: a function outside the core that
+// reaches time.Now or global rand at ANY call depth must not be called
+// from inside the core, and a function taking adaptation/retune
+// decisions must not call anything tainted at all. Interface calls
+// (trace.Clock) do not propagate taint — that interface exists exactly
+// so timing can be injected at the edges.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock reads, math/rand global state and map iteration " +
-		"in the deterministic core (internal/{sched,exec,nn,fault,sim,collective,graph,schedcheck})",
-	Run: runDeterminism,
+		"in the deterministic core (internal/{sched,exec,nn,fault,sim,collective,graph,schedcheck}), " +
+		"and taint flow of wall-clock/rand values into the core or into adapt/retune decisions through any call chain",
+	Run:        runDeterminism,
+	RunProject: runDeterminismTaint,
 }
 
 // deterministicCore lists the package path suffixes in scope. Matching
@@ -98,6 +108,55 @@ func runDeterminism(pass *Pass) error {
 			}
 			return true
 		})
+	}
+	return nil
+}
+
+// runDeterminismTaint is the summary-based upgrade: instead of
+// spotting time.Now lexically, it follows wall-clock/rand values
+// through the call graph. Two sinks:
+//
+//   - a function in the deterministic core calling an out-of-core
+//     function that reaches a taint source at any depth (the callee's
+//     own body is outside the lexical rule's scope, so PR-4's pass
+//     never saw it);
+//   - an adaptation/retune decision function (adaptFuncRe, the
+//     adaptinputs scope) calling ANY tainted function — decisions must
+//     replay from logged inputs alone, wherever the helper lives.
+//
+// Only statically resolvable calls propagate: routing time through the
+// trace.Clock interface remains the sanctioned boundary.
+func runDeterminismTaint(pass *ProjectPass) error {
+	prog := pass.Prog
+	for _, k := range prog.Order {
+		s := prog.Funcs[k]
+		coreCaller := inDeterministicCore(s.Key.Pkg)
+		adaptCaller := inAdaptScope(s.Key.Pkg) && adaptFuncRe.MatchString(s.Key.Name)
+		if !coreCaller && !adaptCaller {
+			continue
+		}
+		for _, c := range s.Calls {
+			if prog.Funcs[c.callee] == nil {
+				continue // external: no summary
+			}
+			wtn := prog.TaintWitness(c.callee)
+			if wtn == "" {
+				continue
+			}
+			switch {
+			case adaptCaller:
+				pass.Reportf(c.pos,
+					"adaptation decision %s calls %s, which reaches %s; decisions must replay from logged inputs alone",
+					s.Key, c.callee, wtn)
+			case !inDeterministicCore(c.callee.Pkg):
+				pass.Reportf(c.pos,
+					"call to %s reaches %s at some call depth; wall-clock/rand values must not flow into the deterministic core — inject a trace.Clock or thread a seeded *rand.Rand",
+					c.callee, wtn)
+			}
+			// No report when the tainted callee is itself inside the
+			// core: its body is already flagged by the lexical pass,
+			// and a second report at every caller would be noise.
+		}
 	}
 	return nil
 }

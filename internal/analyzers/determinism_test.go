@@ -36,3 +36,13 @@ func TestDeterminismScope(t *testing.T) {
 		}
 	}
 }
+
+// TestDeterminismTaint exercises the whole-program upgrade: taint
+// entering a core package from an out-of-core helper at various call
+// depths, the adapt-decision sink, and the two sanctioned escapes
+// (clean helpers, interface-routed timing).
+func TestDeterminismTaint(t *testing.T) {
+	diags := runProjectFixture(t, "taint", []string{"clockutil", "internal/exec"}, Determinism)
+	mustDiag(t, diags, "determinism", `reaches time\.Now via clockutil\.Stamp`)
+	mustDiag(t, diags, "determinism", `adaptation decision exec\.retuneWindow`)
+}

@@ -26,7 +26,11 @@ type wantEntry struct {
 }
 
 var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
-var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// A want pattern is either an interpreted string ("…", backslash
+// escapes processed by strconv.Unquote) or a raw string (`…`, taken
+// verbatim — easier for patterns full of regexp escapes).
+var quotedRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
 // parseWants extracts the want expectations from a loaded package.
 func parseWants(t *testing.T, pkg *Package) []*wantEntry {
@@ -45,9 +49,13 @@ func parseWants(t *testing.T, pkg *Package) []*wantEntry {
 					t.Fatalf("%s:%d: want comment with no quoted regexp", pos.Filename, pos.Line)
 				}
 				for _, q := range qs {
-					pat, err := strconv.Unquote(`"` + q[1] + `"`)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want string %q: %v", pos.Filename, pos.Line, q[0], err)
+					pat := q[2] // raw `…` form, verbatim
+					if q[2] == "" && q[1] != "" {
+						var err error
+						pat, err = strconv.Unquote(`"` + q[1] + `"`)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %q: %v", pos.Filename, pos.Line, q[0], err)
+						}
 					}
 					re, err := regexp.Compile(pat)
 					if err != nil {
@@ -77,7 +85,39 @@ func runFixture(t *testing.T, name string, a *Analyzer) []Diagnostic {
 	if err != nil {
 		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
 	}
-	wants := parseWants(t, pkg)
+	checkWants(t, diags, []*Package{pkg})
+	return diags
+}
+
+// runProjectFixture loads several directories under testdata/src/<name>
+// as one program (LoadDirs, so later packages can import earlier ones
+// by their relative path) and runs the analyzer over the whole thing.
+// Fixtures for the interprocedural passes use this to express
+// cross-package call chains.
+func runProjectFixture(t *testing.T, name string, rels []string, a *Analyzer) []Diagnostic {
+	t.Helper()
+	root := filepath.Join("testdata", "src", name)
+	pkgs, err := LoadDirs(root, rels...)
+	if err != nil {
+		t.Fatalf("loading project fixture %s: %v", name, err)
+	}
+	diags, err := RunProject(pkgs, a)
+	if err != nil {
+		t.Fatalf("running %s on project fixture %s: %v", a.Name, name, err)
+	}
+	checkWants(t, diags, pkgs)
+	return diags
+}
+
+// checkWants diffs diagnostics against the want comments of every
+// loaded package: each diagnostic must match a want on its line, each
+// want must be matched by a diagnostic.
+func checkWants(t *testing.T, diags []Diagnostic, pkgs []*Package) {
+	t.Helper()
+	var wants []*wantEntry
+	for _, pkg := range pkgs {
+		wants = append(wants, parseWants(t, pkg)...)
+	}
 	for _, d := range diags {
 		ok := false
 		for _, w := range wants {
@@ -96,7 +136,6 @@ func runFixture(t *testing.T, name string, a *Analyzer) []Diagnostic {
 			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
 		}
 	}
-	return diags
 }
 
 // mustDiag asserts that some diagnostic from the given analyzer whose

@@ -5,34 +5,27 @@ import (
 	"go/types"
 )
 
-// Hygiene bundles two shallow-but-sharp checks that guard the
-// executor's goroutine topology:
+// Hygiene is mutexcopy: a value containing a sync.Mutex or
+// sync.RWMutex copied by value — parameter, result, receiver, range
+// copy or plain assignment from a dereference. The copy has its own
+// lock word, so two goroutines "sharing" the value serialize on
+// different mutexes; go vet's copylocks catches some of these, but not
+// lock-containing types behind this module's own structs when passed
+// through interfaces. Reported here so the whole invariant suite lives
+// in one place.
 //
-//   - mutexcopy: a value containing a sync.Mutex or sync.RWMutex
-//     copied by value — parameter, result, receiver, range copy or
-//     plain assignment from a dereference. The copy has its own lock
-//     word, so two goroutines "sharing" the value serialize on
-//     different mutexes; go vet's copylocks catches some of these,
-//     but not lock-containing types behind this module's own structs
-//     when passed through interfaces. Reported here so the whole
-//     invariant suite lives in one place.
-//   - ctxleak: `go` statements whose function body has no visible
-//     shutdown path — no WaitGroup.Done, no select, no range over a
-//     channel, no channel receive. Every long-lived goroutine in the
-//     executor (dmaWorker, device workers, the nn pool) either drains
-//     a channel that Close closes or signals a WaitGroup; a goroutine
-//     with neither outlives its VM and trips the leak checks in
-//     -race CI runs nondeterministically.
+// The ctxleak heuristic that lived here through PR 8 — goroutines
+// whose own body shows no shutdown construct — is superseded by the
+// interprocedural chanlife pass, which follows the spawned function's
+// whole call tree instead of stopping at its first call.
 var Hygiene = &Analyzer{
 	Name: "hygiene",
-	Doc: "report lock-containing values copied by value, and goroutines " +
-		"launched with no shutdown path (no WaitGroup.Done, select, channel receive or channel range)",
-	Run: runHygiene,
+	Doc:  "report lock-containing values copied by value",
+	Run:  runHygiene,
 }
 
 func runHygiene(pass *Pass) error {
 	runMutexCopy(pass)
-	runCtxLeak(pass)
 	return nil
 }
 
@@ -152,86 +145,3 @@ func isBlank(e ast.Expr) bool {
 	return ok && id.Name == "_"
 }
 
-// ------------------------------------------------------------- ctxleak
-
-func runCtxLeak(pass *Pass) {
-	// Map package-level functions and methods to their bodies so `go
-	// vm.dmaWorker(d)` can be traced to the loop it runs.
-	decls := make(map[types.Object]*ast.FuncDecl)
-	forEachFunc(pass.Files, func(fd *ast.FuncDecl) {
-		if obj := pass.Info.Defs[fd.Name]; obj != nil {
-			decls[obj] = fd
-		}
-	})
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			g, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
-			}
-			body := goTargetBody(pass, decls, g.Call)
-			if body == nil {
-				return true // external or dynamic target: not checkable
-			}
-			if !hasShutdownPath(pass, body) {
-				pass.Reportf(g.Pos(),
-					"goroutine has no shutdown path (no WaitGroup.Done, select, channel receive or channel range); it will outlive its owner")
-			}
-			return true
-		})
-	}
-}
-
-// goTargetBody resolves the body the go statement will run, if it is
-// visible in this package.
-func goTargetBody(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
-	switch fun := call.Fun.(type) {
-	case *ast.FuncLit:
-		return fun.Body
-	case *ast.Ident:
-		if fd := decls[pass.Info.Uses[fun]]; fd != nil {
-			return fd.Body
-		}
-	case *ast.SelectorExpr:
-		if fd := decls[pass.Info.Uses[fun.Sel]]; fd != nil {
-			return fd.Body
-		}
-	}
-	return nil
-}
-
-// hasShutdownPath reports whether the body contains any construct by
-// which the goroutine can learn it should exit or signal that it has.
-func hasShutdownPath(pass *Pass, body *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.SelectStmt:
-			found = true
-		case *ast.UnaryExpr:
-			if n.Op.String() == "<-" {
-				found = true
-			}
-		case *ast.RangeStmt:
-			if t := pass.Info.TypeOf(n.X); t != nil {
-				if _, isChan := t.Underlying().(*types.Chan); isChan {
-					found = true
-				}
-			}
-		case *ast.CallExpr:
-			if _, ok := methodOn(pass.Info, n, "sync", "WaitGroup", "Done"); ok {
-				found = true
-			}
-			if _, ok := methodOn(pass.Info, n, "sync", "Cond", "Wait"); ok {
-				// A Cond.Wait loop re-checks a condition the owner
-				// can flip at shutdown (dmaWorker's quit flag).
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
-}

@@ -4,7 +4,7 @@ import "testing"
 
 func TestHygiene(t *testing.T) {
 	diags := runFixture(t, "hygiene", Hygiene)
-	// Regression pins: one from each half of the pass.
-	mustDiag(t, diags, "hygiene", `goroutine has no shutdown path`)
+	// Regression pin: goroutine lifecycle moved to chanlife, so hygiene
+	// is mutexcopy only now.
 	mustDiag(t, diags, "hygiene", `passes guarded by value, copying its mutex`)
 }

@@ -1,0 +1,865 @@
+package analyzers
+
+// interproc.go is harmonylint's interprocedural dataflow layer: a call
+// graph over every loaded package plus one Summary per function body —
+// which locks it acquires and with what already held, which channels
+// it sends on or closes, which goroutines it spawns, which claimword
+// transitions it invokes, whether it can learn about shutdown, and
+// whether it observes wall-clock or global-rand state. The lockorder,
+// chanlife and atomicproto passes and the determinism taint upgrade
+// consume these summaries instead of re-walking syntax, which is what
+// lets them follow a contract through any call depth rather than
+// stopping at the first function boundary the way the PR-4 analyzers
+// did.
+//
+// Two deliberate approximations keep the layer sound for its clients
+// without a full abstract interpreter:
+//
+//   - Held-lock sets are flow-approximate: straight-line Lock/Unlock
+//     tracking, branch joins by intersection (a lock counts as held
+//     after an if only when both arms kept it), deferred Unlocks treated
+//     as "held until return". Disagreement therefore drops locks, which
+//     can only suppress lock-order edges, never invent them.
+//   - Only statically resolvable calls propagate: a call through an
+//     interface or a function value contributes no edge. That is the
+//     sanctioned escape hatch (trace.Clock exists exactly so the
+//     deterministic core can time things through an interface), and it
+//     matches how the PR-4 analyzers already scoped their checks.
+//
+// CRITICAL identity note: Load type-checks each top-level package in
+// its own types universe while imports resolve through the shared
+// source importer, so the same function can be represented by distinct
+// *types.Func objects in different packages. Everything here therefore
+// keys functions by FuncKey — import path, receiver type name, function
+// name — never by object identity.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FuncKey names one function or method across the whole program.
+type FuncKey struct {
+	Pkg  string // import path
+	Recv string // receiver's named type, "" for plain functions
+	Name string
+}
+
+func (k FuncKey) String() string {
+	base := k.Pkg[strings.LastIndex(k.Pkg, "/")+1:]
+	if k.Recv != "" {
+		return base + "." + k.Recv + "." + k.Name
+	}
+	return base + "." + k.Name
+}
+
+// keyOf derives the FuncKey for a resolved function object. ok=false
+// for interface methods (no body to summarize) and builtins.
+func keyOf(fn *types.Func) (FuncKey, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return FuncKey{}, false
+	}
+	k := FuncKey{Pkg: fn.Pkg().Path(), Name: fn.Name()}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return FuncKey{}, false
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		n, ok := t.(*types.Named)
+		if !ok {
+			return FuncKey{}, false
+		}
+		if _, isIface := n.Underlying().(*types.Interface); isIface {
+			return FuncKey{}, false // dynamic dispatch: not resolvable
+		}
+		k.Recv = n.Obj().Name()
+	}
+	return k, true
+}
+
+// LockClass is one mutex "class": a struct field (every instance of
+// vmShard.mu is one class), a package-level var, or a function-local
+// variable. Lock-order edges relate classes, not instances.
+type LockClass struct {
+	Pkg   string // import path of the owning package
+	Owner string // named type for fields, "func <name>" for locals, "" for package vars
+	Name  string // field or variable name
+}
+
+func (c LockClass) String() string {
+	base := c.Pkg[strings.LastIndex(c.Pkg, "/")+1:]
+	if c.Owner != "" {
+		return base + "." + c.Owner + "." + c.Name
+	}
+	return base + "." + c.Name
+}
+
+// IsShard reports a per-device shard lock (vmShard.mu, devShard.mu):
+// same-class nesting of these is governed by the ascending-order
+// contract rather than banned outright.
+func (c LockClass) IsShard() bool { return strings.HasSuffix(c.Owner, "Shard") }
+
+// chanClass identifies a channel the same way LockClass identifies a
+// mutex: by field, package var or local name.
+type chanClass struct {
+	Pkg, Owner, Name string
+}
+
+func (c chanClass) String() string {
+	base := c.Pkg[strings.LastIndex(c.Pkg, "/")+1:]
+	if c.Owner != "" {
+		return base + "." + c.Owner + "." + c.Name
+	}
+	return base + "." + c.Name
+}
+
+// lockEvent is one direct Lock/RLock with the classes already held.
+type lockEvent struct {
+	pos   token.Pos
+	class LockClass
+	held  []LockClass
+}
+
+// callSite is one statically resolved call with the held-lock snapshot.
+type callSite struct {
+	pos    token.Pos
+	callee FuncKey
+	held   []LockClass
+}
+
+// spawnSite is one `go` statement. callee is zero when the target is
+// dynamic (function value, interface method) — not checkable, same as
+// the PR-4 heuristic.
+type spawnSite struct {
+	pos    token.Pos
+	callee FuncKey
+	label  string
+}
+
+// chanOp is one send or close on an identifiable channel.
+type chanOp struct {
+	pos   token.Pos
+	class chanClass
+	send  bool // else close
+}
+
+// taintUse is one direct wall-clock or global-rand observation.
+type taintUse struct {
+	pos  token.Pos
+	what string // e.g. "time.Now", "rand.Intn"
+}
+
+// Summary is the per-function dataflow digest every interprocedural
+// pass consumes.
+type Summary struct {
+	Key  FuncKey
+	Decl *ast.FuncDecl // nil for synthesized go-literal bodies
+	Pkg  *Package
+
+	Calls    []callSite
+	Spawns   []spawnSite
+	Acquires []lockEvent
+	ChanOps  []chanOp
+	Taints   []taintUse
+	// ClaimCalls lists claimword transition helpers this function
+	// invokes (Claim, Commit, Settle, Pin, Unpin, ConsumePrefetch).
+	ClaimCalls []string
+
+	// EntryHeld are lock classes the doc contract declares held on
+	// entry ("Requires mu held", "Requires sh.mu held").
+	EntryHeld []LockClass
+	// ShardOrderOK: the doc declares the ascending device/shard
+	// acquisition contract, licensing same-class shard nesting.
+	ShardOrderOK bool
+	// DirectShutdown: the body itself contains a construct by which a
+	// goroutine can learn it should exit or signal that it has
+	// (select, channel receive, channel range, WaitGroup.Done,
+	// Cond.Wait).
+	DirectShutdown bool
+}
+
+// Program is the whole-program view: all summaries plus the fixpoint
+// closures over the call graph.
+type Program struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Funcs map[FuncKey]*Summary
+	Order []FuncKey // deterministic iteration order
+
+	tainted  map[FuncKey]string // key → witness source ("" = clean)
+	shutdown map[FuncKey]bool
+	transAcq map[FuncKey]map[LockClass]bool
+}
+
+// claimTransitions are internal/claimword's pure transition functions.
+var claimTransitions = map[string]bool{
+	"Claim": true, "Commit": true, "Settle": true,
+	"Pin": true, "Unpin": true, "ConsumePrefetch": true,
+}
+
+// BuildProgram summarizes every function in the loaded packages and
+// closes the taint, shutdown-reachability and transitive-acquisition
+// relations over the call graph.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:  pkgs,
+		Funcs: make(map[FuncKey]*Summary),
+	}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		forEachFunc(pkg.Files, func(fd *ast.FuncDecl) {
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			key, ok := keyOf(fn)
+			if !ok {
+				return
+			}
+			sum := &Summary{Key: key, Decl: fd, Pkg: pkg}
+			parseContracts(pkg, fd, sum)
+			prog.add(sum)
+			w := &sumWalker{pkg: pkg, prog: prog, sum: sum}
+			held := make(map[LockClass]bool)
+			for _, c := range sum.EntryHeld {
+				held[c] = true
+			}
+			w.stmts(fd.Body.List, held)
+		})
+	}
+	prog.closeTaint()
+	prog.closeShutdown()
+	prog.closeAcquires()
+	return prog
+}
+
+func (p *Program) add(s *Summary) {
+	if _, dup := p.Funcs[s.Key]; dup {
+		return // e.g. same name under build-tag variants; first wins
+	}
+	p.Funcs[s.Key] = s
+	p.Order = append(p.Order, s.Key)
+}
+
+// parseContracts reads the doc-comment lock contracts (shared with
+// lockhold: entryHeldRe, paramHeldRe, shardOrderRe).
+func parseContracts(pkg *Package, fd *ast.FuncDecl, sum *Summary) {
+	if fd.Doc == nil {
+		return
+	}
+	doc := fd.Doc.Text()
+	sum.ShardOrderOK = shardOrderRe.MatchString(doc)
+	if entryHeldRe.MatchString(doc) && fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if c, ok := fieldLockClass(pkg, fd.Recv.List[0].Type, "mu"); ok {
+			sum.EntryHeld = append(sum.EntryHeld, c)
+		}
+	}
+	for _, m := range paramHeldRe.FindAllStringSubmatch(doc, -1) {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				if name.Name == m[1] {
+					if c, ok := fieldLockClass(pkg, f.Type, "mu"); ok {
+						sum.EntryHeld = append(sum.EntryHeld, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// fieldLockClass resolves "the mu field of the named type behind expr"
+// to a lock class.
+func fieldLockClass(pkg *Package, typeExpr ast.Expr, field string) (LockClass, bool) {
+	t := pkg.Info.TypeOf(typeExpr)
+	if t == nil {
+		return LockClass{}, false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return LockClass{}, false
+	}
+	return LockClass{Pkg: n.Obj().Pkg().Path(), Owner: n.Obj().Name(), Name: field}, true
+}
+
+// ----------------------------------------------------------- the walker
+
+type sumWalker struct {
+	pkg  *Package
+	prog *Program
+	sum  *Summary
+}
+
+func copyHeld(h map[LockClass]bool) map[LockClass]bool {
+	c := make(map[LockClass]bool, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func intersectHeld(a, b map[LockClass]bool) map[LockClass]bool {
+	out := make(map[LockClass]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func heldList(h map[LockClass]bool) []LockClass {
+	if len(h) == 0 {
+		return nil
+	}
+	out := make([]LockClass, 0, len(h))
+	for k := range h {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Owner != b.Owner {
+			return a.Owner < b.Owner
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+func (w *sumWalker) stmts(list []ast.Stmt, held map[LockClass]bool) map[LockClass]bool {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+// stmt processes one statement and returns the held-lock set after it.
+func (w *sumWalker) stmt(s ast.Stmt, held map[LockClass]bool) map[LockClass]bool {
+	switch s := s.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, held)
+		return held
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+		if c, ok := w.chanClassOf(s.Chan); ok {
+			w.sum.ChanOps = append(w.sum.ChanOps, chanOp{pos: s.Pos(), class: c, send: true})
+		}
+		return held
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+		return held
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+		return held
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, held)
+					}
+				}
+			}
+		}
+		return held
+	case *ast.GoStmt:
+		w.goStmt(s, held)
+		return held
+	case *ast.DeferStmt:
+		w.deferStmt(s)
+		return held
+	case *ast.IfStmt:
+		held = w.stmt(s.Init, held)
+		w.scanExpr(s.Cond, held)
+		thenOut := w.stmts(s.Body.List, copyHeld(held))
+		elseOut := copyHeld(held)
+		if s.Else != nil {
+			elseOut = w.stmt(s.Else, elseOut)
+		}
+		return intersectHeld(thenOut, elseOut)
+	case *ast.ForStmt:
+		held = w.stmt(s.Init, held)
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		bodyOut := w.stmts(s.Body.List, copyHeld(held))
+		bodyOut = w.stmt(s.Post, bodyOut)
+		// The loop may run zero times; locks must survive both paths.
+		return intersectHeld(held, bodyOut)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		if t := w.pkg.Info.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.sum.DirectShutdown = true
+			}
+		}
+		bodyOut := w.stmts(s.Body.List, copyHeld(held))
+		return intersectHeld(held, bodyOut)
+	case *ast.SwitchStmt:
+		held = w.stmt(s.Init, held)
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		return w.caseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		held = w.stmt(s.Init, held)
+		w.stmt(s.Assign, copyHeld(held))
+		return w.caseBodies(s.Body, held)
+	case *ast.SelectStmt:
+		w.sum.DirectShutdown = true
+		outs := []map[LockClass]bool{}
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			h := copyHeld(held)
+			h = w.stmt(cc.Comm, h)
+			h = w.stmts(cc.Body, h)
+			outs = append(outs, h)
+		}
+		out := held
+		for _, h := range outs {
+			out = intersectHeld(out, h)
+		}
+		return out
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	default: // BranchStmt, EmptyStmt, ...
+		return held
+	}
+}
+
+// caseBodies joins the arms of a switch: a lock is held after it only
+// if every arm (and the no-default fallthrough path) kept it.
+func (w *sumWalker) caseBodies(body *ast.BlockStmt, held map[LockClass]bool) map[LockClass]bool {
+	out := held
+	hasDefault := false
+	var outs []map[LockClass]bool
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.scanExpr(e, held)
+		}
+		outs = append(outs, w.stmts(cc.Body, copyHeld(held)))
+	}
+	if hasDefault && len(outs) > 0 {
+		out = outs[0]
+		outs = outs[1:]
+	}
+	for _, h := range outs {
+		out = intersectHeld(out, h)
+	}
+	return out
+}
+
+// scanExpr records the calls, taints, lock transitions, channel closes
+// and shutdown constructs inside one expression, in lexical order.
+// Function literals are walked into the same summary with an empty
+// held set (they run later, locks notwithstanding), matching how the
+// PR-4 ctxleak heuristic treated nested bodies.
+func (w *sumWalker) scanExpr(e ast.Expr, held map[LockClass]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, make(map[LockClass]bool))
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.sum.DirectShutdown = true
+			}
+		case *ast.CallExpr:
+			w.call(n, held)
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: lock transition, taint source,
+// claimword transition, channel close, shutdown signal, or a plain
+// (possibly resolvable) call.
+func (w *sumWalker) call(call *ast.CallExpr, held map[LockClass]bool) {
+	info := w.pkg.Info
+
+	// Mutex transitions.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+			if t := info.TypeOf(sel.X); t != nil && isMutex(t) {
+				if c, ok := w.lockClassOf(sel.X); ok {
+					switch sel.Sel.Name {
+					case "Lock", "RLock":
+						w.sum.Acquires = append(w.sum.Acquires, lockEvent{
+							pos: call.Pos(), class: c, held: heldList(held),
+						})
+						held[c] = true
+					default:
+						delete(held, c)
+					}
+				}
+				return
+			}
+		}
+	}
+
+	// Wall-clock and global-rand taint sources.
+	for name := range wallClockFuncs {
+		if pkgFunc(info, call, "time", name) {
+			w.sum.Taints = append(w.sum.Taints, taintUse{pos: call.Pos(), what: "time." + name})
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "math/rand" {
+				if isRandGlobal(info, sel) {
+					w.sum.Taints = append(w.sum.Taints, taintUse{pos: call.Pos(), what: "rand." + sel.Sel.Name})
+				}
+				return
+			}
+		}
+	}
+
+	// close(ch) builtin.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) == 1 {
+			if c, ok := w.chanClassOf(call.Args[0]); ok {
+				w.sum.ChanOps = append(w.sum.ChanOps, chanOp{pos: call.Pos(), class: c})
+			}
+			return
+		}
+	}
+
+	// Shutdown signals a goroutine body can contain.
+	if _, ok := methodOn(info, call, "sync", "WaitGroup", "Done"); ok {
+		w.sum.DirectShutdown = true
+		return
+	}
+	if _, ok := methodOn(info, call, "sync", "Cond", "Wait"); ok {
+		// A Cond.Wait loop re-checks a condition the owner can flip at
+		// shutdown (dmaWorker's quit flag).
+		w.sum.DirectShutdown = true
+		return
+	}
+
+	// Statically resolvable call → call-graph edge.
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	if claimTransitions[fn.Name()] && fn.Pkg() != nil && isClaimwordPath(fn.Pkg().Path()) {
+		w.sum.ClaimCalls = append(w.sum.ClaimCalls, fn.Name())
+	}
+	if key, ok := keyOf(fn); ok {
+		w.sum.Calls = append(w.sum.Calls, callSite{pos: call.Pos(), callee: key, held: heldList(held)})
+	}
+}
+
+// isClaimwordPath matches the real package and its fixtures.
+func isClaimwordPath(path string) bool {
+	return strings.HasSuffix(path, "internal/claimword") || path == "claimword"
+}
+
+// calleeFunc resolves the *types.Func a call statically targets, or
+// nil for function values, builtins and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// goStmt records a spawn site and, for literals, synthesizes a summary
+// for the spawned body so the lifecycle fixpoint can see through it.
+func (w *sumWalker) goStmt(g *ast.GoStmt, held map[LockClass]bool) {
+	for _, a := range g.Call.Args {
+		w.scanExpr(a, held)
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		pos := w.pkg.Fset.Position(g.Pos())
+		syn := &Summary{
+			Key: FuncKey{Pkg: w.pkg.Path, Name: fmt.Sprintf("go$%s:%d", shortFile(pos.Filename), pos.Line)},
+			Pkg: w.pkg,
+		}
+		w.prog.add(syn)
+		lw := &sumWalker{pkg: w.pkg, prog: w.prog, sum: syn}
+		lw.stmts(lit.Body.List, make(map[LockClass]bool))
+		w.sum.Spawns = append(w.sum.Spawns, spawnSite{pos: g.Pos(), callee: syn.Key, label: "func literal"})
+		return
+	}
+	sp := spawnSite{pos: g.Pos(), label: exprString(g.Call.Fun)}
+	if fn := calleeFunc(w.pkg.Info, g.Call); fn != nil {
+		if key, ok := keyOf(fn); ok {
+			sp.callee = key
+		}
+	}
+	w.sum.Spawns = append(w.sum.Spawns, sp)
+}
+
+// deferStmt: a deferred Unlock keeps the lock "held until return" (the
+// standard Lock/defer-Unlock idiom); other deferred calls are recorded
+// with an empty held set, since they run at an unknown exit state.
+func (w *sumWalker) deferStmt(d *ast.DeferStmt) {
+	call := d.Call
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock" {
+			if t := w.pkg.Info.TypeOf(sel.X); t != nil && isMutex(t) {
+				return
+			}
+		}
+	}
+	w.scanExpr(call.Fun, make(map[LockClass]bool))
+	for _, a := range call.Args {
+		w.scanExpr(a, make(map[LockClass]bool))
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		_ = lit // already walked by scanExpr above
+		return
+	}
+	w.call(call, make(map[LockClass]bool))
+}
+
+// lockClassOf resolves the mutex expression x of x.Lock() to a class.
+func (w *sumWalker) lockClassOf(e ast.Expr) (LockClass, bool) {
+	info := w.pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		v, ok := info.Uses[e.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			// Selector onto a package-level var (pkg.mu) or a
+			// non-field; fall back to the object itself.
+			if ok && v.Pkg() != nil {
+				return LockClass{Pkg: v.Pkg().Path(), Name: v.Name()}, true
+			}
+			return LockClass{}, false
+		}
+		// Owner type: the named type the selection steps through.
+		if s, ok := info.Selections[e]; ok {
+			t := s.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			// Embedded fields: use the type that directly declares mu.
+			for _, idx := range s.Index()[:len(s.Index())-1] {
+				st, ok := t.Underlying().(*types.Struct)
+				if !ok {
+					break
+				}
+				t = st.Field(idx).Type()
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+				return LockClass{Pkg: n.Obj().Pkg().Path(), Owner: n.Obj().Name(), Name: v.Name()}, true
+			}
+		}
+		return LockClass{}, false
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return LockClass{}, false
+		}
+		if v.IsField() {
+			// mu inside a method with an embedded receiver.
+			return LockClass{Pkg: v.Pkg().Path(), Owner: w.sum.Key.Recv, Name: v.Name()}, true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return LockClass{Pkg: v.Pkg().Path(), Name: v.Name()}, true
+		}
+		// Function-local mutex: class scoped to this function.
+		return LockClass{Pkg: v.Pkg().Path(), Owner: "func " + w.sum.Key.Name, Name: v.Name()}, true
+	}
+	return LockClass{}, false
+}
+
+// chanClassOf resolves a send/close target to a channel class, when it
+// is a plain field or variable reference.
+func (w *sumWalker) chanClassOf(e ast.Expr) (chanClass, bool) {
+	info := w.pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		v, ok := info.Uses[e.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			if ok && v.Pkg() != nil {
+				return chanClass{Pkg: v.Pkg().Path(), Name: v.Name()}, true
+			}
+			return chanClass{}, false
+		}
+		if s, ok := info.Selections[e]; ok {
+			t := s.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+				return chanClass{Pkg: n.Obj().Pkg().Path(), Owner: n.Obj().Name(), Name: v.Name()}, true
+			}
+		}
+		return chanClass{}, false
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return chanClass{}, false
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return chanClass{Pkg: v.Pkg().Path(), Name: v.Name()}, true
+		}
+		return chanClass{Pkg: v.Pkg().Path(), Owner: "func " + w.sum.Key.Name, Name: v.Name()}, true
+	case *ast.IndexExpr:
+		// ready[i]-style per-element channels: class by the slice.
+		return w.chanClassOf(e.X)
+	}
+	return chanClass{}, false
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// ----------------------------------------------------- fixpoint closures
+
+// closeTaint: a function is tainted when it directly observes the wall
+// clock or global rand, or calls (statically) a tainted function. The
+// witness records the original source plus the first hop, for
+// diagnostics.
+func (p *Program) closeTaint() {
+	p.tainted = make(map[FuncKey]string)
+	for _, k := range p.Order {
+		if s := p.Funcs[k]; len(s.Taints) > 0 {
+			p.tainted[k] = s.Taints[0].what
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range p.Order {
+			if p.tainted[k] != "" {
+				continue
+			}
+			for _, c := range p.Funcs[k].Calls {
+				if wtn := p.tainted[c.callee]; wtn != "" {
+					via := wtn
+					if !strings.Contains(wtn, " via ") {
+						via = wtn + " via " + c.callee.String()
+					}
+					p.tainted[k] = via
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// TaintWitness returns "" for a clean function, or the wall-clock/rand
+// source (and first call hop) it transitively reaches.
+func (p *Program) TaintWitness(k FuncKey) string { return p.tainted[k] }
+
+// closeShutdown: a goroutine body can shut down when it directly
+// contains a shutdown construct or calls a function that transitively
+// can.
+func (p *Program) closeShutdown() {
+	p.shutdown = make(map[FuncKey]bool)
+	for _, k := range p.Order {
+		p.shutdown[k] = p.Funcs[k].DirectShutdown
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range p.Order {
+			if p.shutdown[k] {
+				continue
+			}
+			for _, c := range p.Funcs[k].Calls {
+				if p.shutdown[c.callee] {
+					p.shutdown[k] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// ReachesShutdown reports whether the function (hence a goroutine
+// running it) can learn about shutdown at any call depth.
+func (p *Program) ReachesShutdown(k FuncKey) bool { return p.shutdown[k] }
+
+// closeAcquires: transitive may-acquire sets — every lock class a call
+// into the function may take at any depth.
+func (p *Program) closeAcquires() {
+	p.transAcq = make(map[FuncKey]map[LockClass]bool)
+	for _, k := range p.Order {
+		set := make(map[LockClass]bool)
+		for _, a := range p.Funcs[k].Acquires {
+			set[a.class] = true
+		}
+		p.transAcq[k] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range p.Order {
+			set := p.transAcq[k]
+			for _, c := range p.Funcs[k].Calls {
+				for cls := range p.transAcq[c.callee] {
+					if !set[cls] {
+						set[cls] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// TransAcquires returns the sorted lock classes the function may
+// acquire at any call depth.
+func (p *Program) TransAcquires(k FuncKey) []LockClass {
+	m := p.transAcq[k]
+	if len(m) == 0 {
+		return nil
+	}
+	return heldList(m)
+}

@@ -60,6 +60,62 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // a single package with the given import path. Used by the fixture
 // runner, whose testdata packages are invisible to go list.
 func LoadDir(dir, importPath string) (*Package, error) {
+	paths, err := dirGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return check(fset, imp, importPath, dir, paths)
+}
+
+// LoadDirs type-checks several fixture directories under root as one
+// program sharing a FileSet, in the given order; each directory's
+// path relative to root is its import path, so an earlier package can
+// be imported by a later one (`import "clockutil"`). Used by the
+// whole-program fixture runner to exercise cross-package dataflow —
+// taint entering a core-named package from a helper package — which a
+// single LoadDir package cannot express.
+func LoadDirs(root string, rels ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		local:    make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	var pkgs []*Package
+	for _, rel := range rels {
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		paths, err := dirGoFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := check(fset, imp, rel, dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[rel] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// chainImporter serves already-checked fixture packages by import
+// path before falling back to the source importer for the standard
+// library.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p := c.local[path]; p != nil {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// dirGoFiles lists the .go files directly inside dir, sorted.
+func dirGoFiles(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -74,9 +130,7 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("analyzers: no .go files in %s", dir)
 	}
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	return check(fset, imp, importPath, dir, paths)
+	return paths, nil
 }
 
 // check parses and type-checks one package's files.

@@ -1,0 +1,128 @@
+package analyzers
+
+// Tests for the offline loader: build-constraint filtering, error
+// surfaces (missing package, syntax error, type error), and the
+// chained fixture importer's stdlib fallback.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a temp module from rel-path → source pairs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	tmp := t.TempDir()
+	files["go.mod"] = "module loadtest\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(tmp, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tmp
+}
+
+// TestLoadBuildTags: go list filters constrained files, so an
+// excluded file's contents are invisible to analysis — even when they
+// would not type-check.
+func TestLoadBuildTags(t *testing.T) {
+	tmp := writeModule(t, map[string]string{
+		"pkg/a.go": "package pkg\n\nfunc Live() int { return 1 }\n",
+		"pkg/b.go": "//go:build neverenabled\n\npackage pkg\n\nfunc Dead() int { return undefinedSymbol }\n",
+	})
+	pkgs, err := Load(tmp, "./pkg")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	if n := len(pkgs[0].Files); n != 1 {
+		t.Errorf("constrained file leaked into the load: %d files, want 1", n)
+	}
+	if pkgs[0].Types.Scope().Lookup("Dead") != nil {
+		t.Error("symbol from build-excluded file is visible")
+	}
+}
+
+// TestLoadMissingPackage: a pattern matching nothing is an error from
+// go list, not a silent empty result.
+func TestLoadMissingPackage(t *testing.T) {
+	tmp := writeModule(t, map[string]string{
+		"pkg/a.go": "package pkg\n",
+	})
+	if _, err := Load(tmp, "./nosuchdir"); err == nil {
+		t.Fatal("Load of a missing package succeeded")
+	} else if !strings.Contains(err.Error(), "go list") {
+		t.Errorf("error %q does not identify the go list stage", err)
+	}
+}
+
+// TestLoadSyntaxError: a parse failure names the offending file.
+func TestLoadSyntaxError(t *testing.T) {
+	tmp := writeModule(t, map[string]string{
+		"pkg/a.go": "package pkg\n\nfunc Broken( {\n",
+	})
+	if _, err := Load(tmp, "./pkg"); err == nil {
+		t.Fatal("Load of a syntactically invalid package succeeded")
+	} else if !strings.Contains(err.Error(), "a.go") {
+		t.Errorf("error %q does not name the bad file", err)
+	}
+}
+
+// TestLoadDirTypeError: LoadDir surfaces type-check failures with the
+// package path.
+func TestLoadDirTypeError(t *testing.T) {
+	dir := t.TempDir()
+	src := "package pkg\n\nfunc Bad() int { return \"not an int\" }\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir, "pkg"); err == nil {
+		t.Fatal("LoadDir of an ill-typed package succeeded")
+	} else if !strings.Contains(err.Error(), "type-checking pkg") {
+		t.Errorf("error %q does not identify the type-check stage", err)
+	}
+}
+
+// TestLoadDirsFallbackImporter: a later fixture directory resolves an
+// earlier one by rel path through the local map, while stdlib imports
+// fall through to the source importer — both in one program.
+func TestLoadDirsFallbackImporter(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"base/base.go": "package base\n\nimport \"sync\"\n\nvar Mu sync.Mutex\n",
+		"top/top.go":   "package top\n\nimport \"base\"\n\nfunc Touch() { base.Mu.Lock(); base.Mu.Unlock() }\n",
+	}
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := LoadDirs(root, "base", "top")
+	if err != nil {
+		t.Fatalf("LoadDirs: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	// Same FileSet throughout, so positions from both packages (and
+	// diagnostics over them) are mutually consistent.
+	if pkgs[0].Fset != pkgs[1].Fset {
+		t.Error("LoadDirs packages do not share a FileSet")
+	}
+	// Order matters: the dependency must be listed first.
+	if _, err := LoadDirs(root, "top", "base"); err == nil {
+		t.Error("LoadDirs resolved an import of a not-yet-loaded fixture package")
+	}
+}

@@ -1,0 +1,135 @@
+// Package atomicproto is the fixture for the atomicproto analyzer: a
+// copy of internal/claimword's pure transition machine with one
+// deliberate divergence. Commit here forgets the prefetched mark on
+// async claims, so its extracted table disagrees with the schedcheck
+// spec on every claimed+async input; every other transition matches
+// the spec exactly and must stay diagnostic-free.
+package atomicproto
+
+// Word is one buffer's packed claim state.
+type Word uint64
+
+// State is the DMA leg of the state machine.
+type State uint64
+
+const (
+	Idle    State = 0
+	SwapIn  State = 1
+	SwapOut State = 2
+)
+
+const (
+	stateMask Word = 0x3
+
+	FlagAsync      Word = 1 << 2
+	FlagCommitted  Word = 1 << 3
+	FlagResident   Word = 1 << 4
+	FlagPrefetched Word = 1 << 5
+
+	pinShift      = 8
+	pinLimit Word = 1 << 20
+	pinMask  Word = (pinLimit - 1) << pinShift
+)
+
+func (w Word) State() State     { return State(w & stateMask) }
+func (w Word) Claimed() bool    { return w.State() != Idle }
+func (w Word) Async() bool      { return w&FlagAsync != 0 }
+func (w Word) Committed() bool  { return w&FlagCommitted != 0 }
+func (w Word) Resident() bool   { return w&FlagResident != 0 }
+func (w Word) Prefetched() bool { return w&FlagPrefetched != 0 }
+func (w Word) Pins() int        { return int((w & pinMask) >> pinShift) }
+
+func (w Word) withPins(n int) Word {
+	return (w &^ pinMask) | (Word(n) << pinShift & pinMask)
+}
+
+// Need is a claim precondition.
+type Need int
+
+const (
+	NeedIdle Need = iota
+	NeedUnpinned
+	NeedEmpty
+)
+
+// Claim matches the spec exactly.
+func Claim(w Word, st State, async, committed bool, need Need) (Word, bool) {
+	if st != SwapIn && st != SwapOut {
+		return w, false
+	}
+	if w.State() != Idle {
+		return w, false
+	}
+	switch need {
+	case NeedUnpinned:
+		if w.Pins() > 0 {
+			return w, false
+		}
+	case NeedEmpty:
+		if w.Pins() > 0 || w.Resident() || w.Prefetched() {
+			return w, false
+		}
+	}
+	n := (w &^ (stateMask | FlagAsync | FlagCommitted)) | Word(st)
+	if async {
+		n |= FlagAsync
+	}
+	if committed {
+		n |= FlagCommitted
+	}
+	return n, true
+}
+
+// Commit diverges: the async branch that sets FlagPrefetched is gone,
+// so prefetch-budget accounting would leak.
+func Commit(w Word) (Word, bool) { // want `claimword Commit diverges from the schedcheck DMA-model table on \d+/\d+ transitions`
+	if !w.Claimed() {
+		return w, false
+	}
+	return w | FlagResident | FlagCommitted, true
+}
+
+// Settle matches the spec exactly.
+func Settle(w Word, resident bool, pinDelta int) (Word, bool) {
+	if !w.Claimed() {
+		return w, false
+	}
+	pins := w.Pins() + pinDelta
+	if pins < 0 || Word(pins) >= pinLimit {
+		return w, false
+	}
+	n := w &^ (stateMask | FlagAsync | FlagCommitted)
+	if resident {
+		n |= FlagResident
+	} else {
+		n &^= FlagResident | FlagPrefetched
+	}
+	return n.withPins(pins), true
+}
+
+// Pin matches the spec exactly.
+func Pin(w Word) (Word, bool) {
+	if w.State() != Idle || !w.Resident() {
+		return w, false
+	}
+	if Word(w.Pins()+1) >= pinLimit {
+		return w, false
+	}
+	return w.withPins(w.Pins() + 1), true
+}
+
+// Unpin matches the spec exactly.
+func Unpin(w Word) (Word, bool) {
+	if w.Pins() == 0 {
+		return w, false
+	}
+	return w.withPins(w.Pins() - 1), true
+}
+
+// ConsumePrefetch matches the spec exactly.
+func ConsumePrefetch(w Word) (Word, bool) {
+	if !w.Prefetched() {
+		return w, false
+	}
+	return w &^ FlagPrefetched, true
+}

@@ -1,0 +1,193 @@
+// Package chanlife is the fixture for the chanlife analyzer:
+// goroutine shutdown reachability at any call depth, and done-channel
+// discipline (one completion signal: closed or single-sender, never
+// both).
+package chanlife
+
+import "sync"
+
+// ------------------------------------- shutdown paths, direct (ex-ctxleak)
+
+// leakyGoroutine spins forever with no way to learn about shutdown.
+func leakyGoroutine() {
+	go func() { // want "goroutine func literal has no shutdown path at any call depth"
+		for {
+			work()
+		}
+	}()
+}
+
+// drainUntilClosed exits when the owner closes the channel.
+func drainUntilClosed(ch chan int) {
+	go func() {
+		for x := range ch {
+			_ = x
+		}
+	}()
+}
+
+// signalsDone reports completion through the WaitGroup.
+func signalsDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// selectsOnQuit watches a quit channel.
+func selectsOnQuit(quit chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case x := <-ch:
+				_ = x
+			}
+		}
+	}()
+}
+
+type pump struct{ ch chan int }
+
+// loop has no exit; launching it as a method leaks too.
+func (p *pump) loop() {
+	for {
+		work()
+	}
+}
+
+func (p *pump) start() {
+	go p.loop() // want "goroutine p.loop has no shutdown path at any call depth"
+}
+
+// ---------------------------------- shutdown paths, at call depth
+
+// runDeep's shutdown construct is one call down: the PR-4 heuristic
+// flagged this spawn and needed a //lint:allow; the interprocedural
+// pass follows the call.
+func runDeep(ch chan int) {
+	go runLoop(ch)
+}
+
+func runLoop(ch chan int) {
+	for {
+		if !step(ch) {
+			return
+		}
+	}
+}
+
+func step(ch chan int) bool {
+	_, ok := <-ch
+	return ok
+}
+
+// runDeepLeak never reaches a shutdown construct, at any depth.
+func runDeepLeak() {
+	go spinOuter() // want "goroutine spinOuter has no shutdown path at any call depth"
+}
+
+func spinOuter() {
+	for {
+		spinInner()
+	}
+}
+
+func spinInner() {
+	work()
+}
+
+// condWorker mirrors dmaWorker: the shutdown check is a Cond.Wait
+// loop re-checking a quit flag, two calls down.
+type engine struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	quit bool
+}
+
+func (e *engine) startWorker() {
+	go e.worker()
+}
+
+func (e *engine) worker() {
+	for e.await() {
+		work()
+	}
+}
+
+func (e *engine) await() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for !e.quit {
+		e.cond.Wait()
+	}
+	return !e.quit
+}
+
+// --------------------------------------- done-channel discipline
+
+// task carries a done-channel that is closed on completion; its
+// owner must not also send on it.
+type task struct {
+	done chan struct{}
+}
+
+func (t *task) complete() {
+	close(t.done)
+}
+
+func (t *task) signalToo() {
+	t.done <- struct{}{} // want `send on done-channel chanlife\.task\.done, which is closed at chanlife\.go:\d+; a done-channel signals completion exactly once`
+}
+
+// job's done-channel is send-signaled — fine with exactly one sender.
+type job struct {
+	done chan struct{}
+}
+
+func (j *job) finish() {
+	j.done <- struct{}{}
+}
+
+func (j *job) waitDone() {
+	<-j.done
+}
+
+// race's quit channel has two different sending functions: racing
+// completion signals.
+type race struct {
+	quit chan struct{}
+}
+
+func (r *race) stopA() {
+	r.quit <- struct{}{} // want `done-channel chanlife\.race\.quit has 2 sending functions`
+}
+
+func (r *race) stopB() {
+	r.quit <- struct{}{} // want `done-channel chanlife\.race\.quit has 2 sending functions`
+}
+
+// queue channels (not done-named) legitimately mix many senders with
+// one close; out of scope.
+type pool struct {
+	work chan int
+}
+
+func (p *pool) submitA(n int) { p.work <- n }
+func (p *pool) submitB(n int) { p.work <- n }
+func (p *pool) shutdown()     { close(p.work) }
+
+// allowedLeak documents why this goroutine may outlive its owner: it
+// is a process-lifetime metrics pump.
+func allowedLeak() {
+	//lint:allow chanlife process-lifetime metrics pump; exits with the process
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+func work() {}

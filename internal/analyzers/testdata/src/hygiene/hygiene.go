@@ -1,6 +1,7 @@
 // Package hygiene is the fixture for the hygiene analyzer: mutexcopy
-// (lock-containing values copied by value) and ctxleak (goroutines
-// launched with no shutdown path).
+// (lock-containing values copied by value). Goroutine lifecycle
+// checking moved to the interprocedural chanlife analyzer and its
+// fixture.
 package hygiene
 
 import "sync"
@@ -76,82 +77,3 @@ func freshValue() {
 	g := guarded{}
 	_ = g
 }
-
-// leakyGoroutine spins forever with no way to learn about shutdown.
-func leakyGoroutine() {
-	go func() { // want "goroutine has no shutdown path"
-		for {
-			work()
-		}
-	}()
-}
-
-// drainUntilClosed exits when the owner closes the channel.
-func drainUntilClosed(ch chan int) {
-	go func() {
-		for x := range ch {
-			_ = x
-		}
-	}()
-}
-
-// signalsDone reports completion through the WaitGroup.
-func signalsDone(wg *sync.WaitGroup) {
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		work()
-	}()
-}
-
-// selectsOnQuit watches a quit channel.
-func selectsOnQuit(quit chan struct{}, ch chan int) {
-	go func() {
-		for {
-			select {
-			case <-quit:
-				return
-			case x := <-ch:
-				_ = x
-			}
-		}
-	}()
-}
-
-// namedWorker resolves through the package scope to a body that drains
-// a channel; launching it is fine.
-func namedWorker(ch chan int) {
-	for x := range ch {
-		_ = x
-	}
-}
-
-func launchNamed(ch chan int) {
-	go namedWorker(ch)
-}
-
-type pump struct{ ch chan int }
-
-// loop has no exit; launching it as a method leaks too.
-func (p *pump) loop() {
-	for {
-		work()
-	}
-}
-
-func (p *pump) start() {
-	go p.loop() // want "goroutine has no shutdown path"
-}
-
-// allowedLeak documents why this goroutine may outlive its owner: it
-// is a process-lifetime metrics pump.
-func allowedLeak() {
-	//lint:allow hygiene process-lifetime metrics pump; exits with the process
-	go func() {
-		for {
-			work()
-		}
-	}()
-}
-
-func work() {}

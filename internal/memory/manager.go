@@ -503,6 +503,8 @@ func (m *Manager) FreeTensor(t *tensor.Tensor) error {
 	return m.freeLocked(t)
 }
 
+// freeLocked destroys t's residency and home accounting. Requires mu
+// held; any queue progress it unlocks is pumped before returning.
 func (m *Manager) freeLocked(t *tensor.Tensor) error {
 	st := m.states[t.ID]
 	if st.Loc == tensor.LocNone {
@@ -550,7 +552,8 @@ func (m *Manager) Prefetch(dev hw.DeviceID, t *tensor.Tensor) {
 }
 
 // pumpAll advances every device's queue; cheap, and avoids missed
-// wakeups from cross-device interactions.
+// wakeups from cross-device interactions. Requires mu held (pump may
+// release and retake it around ready callbacks).
 func (m *Manager) pumpAll() {
 	for _, d := range m.devs {
 		m.pump(d)
@@ -586,7 +589,7 @@ func (m *Manager) pump(d *devShard) {
 
 // advance tries to move one acquire forward. It returns granted=true
 // when the acquire is fully satisfied, and progress=true if it
-// changed any state (so the pump loop re-evaluates).
+// changed any state (so the pump loop re-evaluates). Requires mu held.
 func (m *Manager) advance(a *acquire) (granted, progress bool) {
 	d := a.dev
 	dev := d.dev.ID
@@ -688,7 +691,7 @@ func (m *Manager) failAcquire(a *acquire, err error) {
 
 // ensureSpace makes progress toward `need` free bytes on d, starting
 // evictions as necessary. It returns true if the space is available
-// now.
+// now. Requires mu held.
 func (m *Manager) ensureSpace(d *devShard, need int64) bool {
 	if d.free() >= need {
 		return true
@@ -743,7 +746,8 @@ func (m *Manager) pickVictim(d *devShard) *tensor.State {
 
 // startEviction removes st from d, either by a free clean drop (when
 // dirty tracking is on and the host copy is valid) or by an async
-// writeback.
+// writeback. Requires mu held; the writeback-completion closure
+// retakes it on its own goroutine.
 func (m *Manager) startEviction(d *devShard, st *tensor.State) {
 	if m.pol.DirtyTracking && !st.Dirty() {
 		if err := st.Drop(); err != nil {
@@ -794,6 +798,8 @@ func (m *Manager) startEviction(d *devShard, st *tensor.State) {
 }
 
 // startSwapIn begins a host→device copy; memory is charged at start.
+// Requires mu held; the DMA-completion closure retakes it on its own
+// goroutine.
 func (m *Manager) startSwapIn(d *devShard, st *tensor.State, a *acquire) {
 	if err := st.BeginSwapIn(d.dev.ID); err != nil {
 		m.setFatal(err)
@@ -826,7 +832,8 @@ func (m *Manager) startSwapIn(d *devShard, st *tensor.State, a *acquire) {
 	})
 }
 
-// startMigrate begins a p2p device→device move into d.
+// startMigrate begins a p2p device→device move into d. Requires mu
+// held; the copy-completion closure retakes it on its own goroutine.
 func (m *Manager) startMigrate(d *devShard, st *tensor.State) {
 	src := m.devs[st.Dev]
 	if err := st.BeginMigrate(d.dev.ID); err != nil {

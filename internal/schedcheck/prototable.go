@@ -1,0 +1,243 @@
+package schedcheck
+
+// prototable.go declares the claim/commit/settle/pin transition table
+// the DMA model explores, as an independent specification. The model
+// itself (dmamodel.go) applies internal/claimword's compiled
+// transitions directly, which is what makes its exploration honest —
+// but it also means the model alone cannot notice claimword changing,
+// because the model changes with it. This file breaks that coupling:
+// the spec below re-states the machine from DESIGN.md §9/§12 with its
+// own constants and its own logic, deliberately NOT calling claimword.
+//
+// Two verifiers pin the three descriptions of the machine together:
+//
+//   - TestProtoTableMatchesClaimword (prototable_test.go) applies the
+//     compiled claimword transitions over the whole bounded domain and
+//     diffs them against this spec — so the table the model explores
+//     is exactly the table declared here;
+//   - the atomicproto analyzer (internal/analyzers) extracts the same
+//     table from claimword's SOURCE by abstract interpretation and
+//     diffs it against this spec — so an edit to claimword that is
+//     never exercised by a test still trips the lint gate.
+//
+// Edit claimword without editing this spec and both trip; edit this
+// spec without editing claimword and both trip. That is the point.
+
+// ProtoEntry is one row of the declared transition table: applying Op
+// with Args to the observed word In must yield (Out, OK).
+type ProtoEntry struct {
+	Op   string
+	Args []int64 // op-specific; see ProtoOps
+	In   uint64
+	Out  uint64
+	OK   bool
+}
+
+// ProtoOp describes one transition function and the argument tuples
+// the bounded domain exercises it with.
+type ProtoOp struct {
+	Name string
+	// ArgNames documents the tuple layout (positions after the word
+	// parameter); booleans are 0/1.
+	ArgNames []string
+	// ArgTuples enumerates the exercised argument combinations.
+	ArgTuples [][]int64
+}
+
+// Spec constants: claimword's word layout, restated. These mirror —
+// and must not be imported from — internal/claimword.
+const (
+	specStateMask  uint64 = 0x3
+	specAsync      uint64 = 1 << 2
+	specCommitted  uint64 = 1 << 3
+	specResident   uint64 = 1 << 4
+	specPrefetched uint64 = 1 << 5
+	specPinShift          = 8
+	specPinLimit   int64  = 1 << 20
+)
+
+func specPins(w uint64) int64 { return int64(w >> specPinShift & (uint64(specPinLimit) - 1)) }
+
+func specWithPins(w uint64, n int64) uint64 {
+	mask := (uint64(specPinLimit) - 1) << specPinShift
+	return w&^mask | uint64(n)<<specPinShift&mask
+}
+
+// ProtoDomain enumerates the bounded word domain the table covers:
+// every DMA state (idle, swap-in, swap-out), every combination of the
+// four flags, pin counts 0–2. 144 words; the model's reachable states
+// are a subset.
+func ProtoDomain() []uint64 {
+	var words []uint64
+	for st := uint64(0); st <= 2; st++ {
+		for flags := uint64(0); flags < 16; flags++ {
+			for pins := uint64(0); pins <= 2; pins++ {
+				words = append(words, st|flags<<2|pins<<specPinShift)
+			}
+		}
+	}
+	return words
+}
+
+// ProtoOps lists the six transitions and the argument tuples explored
+// for each. Claim includes the invalid target states 0 and 3 so the
+// table pins their rejection, and every need level; Settle covers both
+// outcomes and both pin deltas.
+func ProtoOps() []ProtoOp {
+	var claims [][]int64
+	for st := int64(0); st <= 3; st++ {
+		for async := int64(0); async <= 1; async++ {
+			for committed := int64(0); committed <= 1; committed++ {
+				for need := int64(0); need <= 2; need++ {
+					claims = append(claims, []int64{st, async, committed, need})
+				}
+			}
+		}
+	}
+	var settles [][]int64
+	for resident := int64(0); resident <= 1; resident++ {
+		for delta := int64(0); delta <= 1; delta++ {
+			settles = append(settles, []int64{resident, delta})
+		}
+	}
+	none := [][]int64{nil}
+	return []ProtoOp{
+		{Name: "Claim", ArgNames: []string{"st", "async", "committed", "need"}, ArgTuples: claims},
+		{Name: "Commit", ArgTuples: none},
+		{Name: "Settle", ArgNames: []string{"resident", "pinDelta"}, ArgTuples: settles},
+		{Name: "Pin", ArgTuples: none},
+		{Name: "Unpin", ArgTuples: none},
+		{Name: "ConsumePrefetch", ArgTuples: none},
+	}
+}
+
+// ProtoTable materializes the full declared table in deterministic
+// order: ops as listed by ProtoOps, argument tuples in enumeration
+// order, words in domain order.
+func ProtoTable() []ProtoEntry {
+	var table []ProtoEntry
+	domain := ProtoDomain()
+	for _, op := range ProtoOps() {
+		for _, args := range op.ArgTuples {
+			for _, w := range domain {
+				out, ok := specApply(op.Name, w, args)
+				table = append(table, ProtoEntry{Op: op.Name, Args: args, In: w, Out: out, OK: ok})
+			}
+		}
+	}
+	return table
+}
+
+func specApply(op string, w uint64, args []int64) (uint64, bool) {
+	switch op {
+	case "Claim":
+		return specClaim(w, args[0], args[1] == 1, args[2] == 1, args[3])
+	case "Commit":
+		return specCommit(w)
+	case "Settle":
+		return specSettle(w, args[0] == 1, args[1])
+	case "Pin":
+		return specPin(w)
+	case "Unpin":
+		return specUnpin(w)
+	case "ConsumePrefetch":
+		return specConsumePrefetch(w)
+	}
+	panic("schedcheck: unknown proto op " + op)
+}
+
+// --- the declared machine (DESIGN.md §9/§12, restated) ---
+
+// specClaim: only swap-in (1) and swap-out (2) are claimable targets,
+// only from idle; need=1 additionally requires unpinned, need=2
+// unpinned, non-resident and non-prefetched. The claim sets the state
+// and replaces the async/committed flags with the claimant's.
+func specClaim(w uint64, st int64, async, committed bool, need int64) (uint64, bool) {
+	if st != 1 && st != 2 {
+		return w, false
+	}
+	if w&specStateMask != 0 {
+		return w, false
+	}
+	switch need {
+	case 1:
+		if specPins(w) > 0 {
+			return w, false
+		}
+	case 2:
+		if specPins(w) > 0 || w&specResident != 0 || w&specPrefetched != 0 {
+			return w, false
+		}
+	}
+	n := w &^ (specStateMask | specAsync | specCommitted)
+	n |= uint64(st)
+	if async {
+		n |= specAsync
+	}
+	if committed {
+		n |= specCommitted
+	}
+	return n, true
+}
+
+// specCommit: any claimed word gains resident+committed in one step;
+// an async claim additionally gains the prefetched mark. Unclaimed
+// words are rejected.
+func specCommit(w uint64) (uint64, bool) {
+	if w&specStateMask == 0 {
+		return w, false
+	}
+	n := w | specResident | specCommitted
+	if w&specAsync != 0 {
+		n |= specPrefetched
+	}
+	return n, true
+}
+
+// specSettle: a claimed word returns to idle with async/committed
+// cleared; residency is forced to the outcome, and losing residency
+// also drops the prefetched mark; pinDelta adjusts pins within
+// [0, pinLimit).
+func specSettle(w uint64, resident bool, pinDelta int64) (uint64, bool) {
+	if w&specStateMask == 0 {
+		return w, false
+	}
+	pins := specPins(w) + pinDelta
+	if pins < 0 || pins >= specPinLimit {
+		return w, false
+	}
+	n := w &^ (specStateMask | specAsync | specCommitted)
+	if resident {
+		n |= specResident
+	} else {
+		n &^= specResident | specPrefetched
+	}
+	return specWithPins(n, pins), true
+}
+
+// specPin: one pin on an idle resident word, below the pin limit.
+func specPin(w uint64) (uint64, bool) {
+	if w&specStateMask != 0 || w&specResident == 0 {
+		return w, false
+	}
+	if specPins(w)+1 >= specPinLimit {
+		return w, false
+	}
+	return specWithPins(w, specPins(w)+1), true
+}
+
+// specUnpin: releases one pin; rejects underflow.
+func specUnpin(w uint64) (uint64, bool) {
+	if specPins(w) == 0 {
+		return w, false
+	}
+	return specWithPins(w, specPins(w)-1), true
+}
+
+// specConsumePrefetch: clears the prefetched mark exactly once.
+func specConsumePrefetch(w uint64) (uint64, bool) {
+	if w&specPrefetched == 0 {
+		return w, false
+	}
+	return w &^ specPrefetched, true
+}

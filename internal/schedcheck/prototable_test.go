@@ -1,0 +1,84 @@
+package schedcheck
+
+import (
+	"testing"
+
+	"harmony/internal/claimword"
+)
+
+// applyCompiled runs the real claimword transition named op on (w,
+// args) — the same dispatch specApply performs on the spec side.
+func applyCompiled(t *testing.T, op string, w uint64, args []int64) (uint64, bool) {
+	t.Helper()
+	cw := claimword.Word(w)
+	var n claimword.Word
+	var ok bool
+	switch op {
+	case "Claim":
+		n, ok = claimword.Claim(cw, claimword.State(args[0]), args[1] == 1, args[2] == 1, claimword.Need(args[3]))
+	case "Commit":
+		n, ok = claimword.Commit(cw)
+	case "Settle":
+		n, ok = claimword.Settle(cw, args[0] == 1, int(args[1]))
+	case "Pin":
+		n, ok = claimword.Pin(cw)
+	case "Unpin":
+		n, ok = claimword.Unpin(cw)
+	case "ConsumePrefetch":
+		n, ok = claimword.ConsumePrefetch(cw)
+	default:
+		t.Fatalf("unknown proto op %q", op)
+	}
+	return uint64(n), ok
+}
+
+// TestProtoTableMatchesClaimword diffs the independent spec table
+// against the COMPILED claimword transitions over the whole bounded
+// domain. Together with the atomicproto analyzer (which diffs the same
+// spec against claimword's SOURCE), this pins the code, the binary the
+// model explores, and the declared machine to each other: editing
+// claimword without this spec — or this spec without claimword — fails
+// one or both.
+func TestProtoTableMatchesClaimword(t *testing.T) {
+	table := ProtoTable()
+	if len(table) == 0 {
+		t.Fatal("empty proto table")
+	}
+	bad := 0
+	for i := range table {
+		e := &table[i]
+		out, ok := applyCompiled(t, e.Op, e.In, e.Args)
+		if out != e.Out || ok != e.OK {
+			bad++
+			if bad <= 5 {
+				t.Errorf("%s(word %#x, args %v): compiled (%#x, %v), spec (%#x, %v)",
+					e.Op, e.In, e.Args, out, ok, e.Out, e.OK)
+			}
+		}
+	}
+	if bad > 5 {
+		t.Errorf("... and %d more mismatches (of %d transitions)", bad-5, len(table))
+	}
+}
+
+// TestProtoDomainShape pins the domain the table covers, so a future
+// edit cannot silently shrink the cross-checked surface.
+func TestProtoDomainShape(t *testing.T) {
+	if n := len(ProtoDomain()); n != 3*16*3 {
+		t.Errorf("ProtoDomain has %d words, want %d", n, 3*16*3)
+	}
+	wantTuples := map[string]int{
+		"Claim": 4 * 2 * 2 * 3, "Commit": 1, "Settle": 2 * 2,
+		"Pin": 1, "Unpin": 1, "ConsumePrefetch": 1,
+	}
+	total := 0
+	for _, op := range ProtoOps() {
+		if got := len(op.ArgTuples); got != wantTuples[op.Name] {
+			t.Errorf("%s explores %d argument tuples, want %d", op.Name, got, wantTuples[op.Name])
+		}
+		total += len(op.ArgTuples)
+	}
+	if n := len(ProtoTable()); n != total*3*16*3 {
+		t.Errorf("ProtoTable has %d entries, want %d", n, total*3*16*3)
+	}
+}
