@@ -45,12 +45,27 @@
 //     cross-checks it field-by-field against the independent spec
 //     table the schedcheck DMA model explores; editing either side
 //     alone trips the gate.
+//   - pinbalance: every pin (State.Pin, vm.pin, settle with a +1
+//     delta) is released, handed off, or covered by a documented
+//     "pins it" ownership contract on every CFG path, including early
+//     error returns — the paper's pin-budget invariant at source level.
+//   - claimlife: every DMA claim (vm.claim) reaches commit or settle —
+//     directly, through a callee, or by handoff to the worker queue —
+//     on every path; a dropped claim wedges the buffer's claim word.
+//   - errpath: locks, shard locks and snapshot handles still held at
+//     an early error return, with the concrete leaking path printed in
+//     the diagnostic — the cases lockhold's intersection joins had to
+//     suppress.
 //
 // The per-function summaries behind the interprocedural passes (locks
 // acquired/released, channels sent/closed, goroutines spawned,
 // claimword transitions invoked, taint sources reached) live in
 // interproc.go; lockorder, chanlife and the determinism taint upgrade
-// are RunProject analyzers over that call graph.
+// are RunProject analyzers over that call graph. The path-sensitive
+// lifecycle passes (pinbalance, claimlife, errpath) add a third layer:
+// per-function control-flow graphs (cfg.go) explored by a worklist
+// engine (dataflow.go) that keeps every branch outcome distinct, so
+// leak diagnostics print the concrete path.
 //
 // The framework below is a self-contained, offline re-implementation
 // of the golang.org/x/tools/go/analysis surface this module needs
@@ -132,6 +147,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Lockhold, ClaimDiscipline, Determinism, Hygiene, Errcheck, AdaptInputs,
 		Lockorder, Chanlife, Atomicproto,
+		Pinbalance, Claimlife, Errpath,
 	}
 }
 

@@ -32,6 +32,7 @@ func TestAllNames(t *testing.T) {
 		"lockhold": true, "claimdiscipline": true, "determinism": true, "hygiene": true,
 		"errcheck": true, "adaptinputs": true,
 		"lockorder": true, "chanlife": true, "atomicproto": true,
+		"pinbalance": true, "claimlife": true, "errpath": true,
 	}
 	all := All()
 	if len(all) != len(want) {

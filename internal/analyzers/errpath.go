@@ -1,0 +1,151 @@
+package analyzers
+
+// errpath upgrades lockhold's leaked-lock check from intersection-join
+// approximation to per-path evidence. lockhold's walker merges branch
+// arms; when they disagree about a mutex it degrades to lsUnknown and
+// suppresses reports — precisely the shape of the bug class that
+// matters most here: a lock (or shard lock, or snapshot handle) taken,
+// then an early `if err != nil { return err }` that skips the release.
+// errpath walks the CFG instead, so each diagnostic carries the
+// concrete leaking path: where the resource was taken, which error
+// guard was crossed, and which return leaked it.
+//
+// Tracked resources:
+//
+//   - mu.Lock()/RLock() paired with Unlock()/RUnlock() on sync.Mutex /
+//     sync.RWMutex — including per-device shard locks (vmShard.mu,
+//     devShard.mu), with `defer mu.Unlock()` applied at every exit.
+//   - Handle-style snapshots: `snap := x.Snapshot()` where the result
+//     type has a Release method, paired with `snap.Release()`.
+//
+// Doc contracts compose exactly as in lockhold: "Requires mu held" /
+// "Requires sh.mu held" licenses both entering and leaving with that
+// lock held (unless "released on return" demands the release), and a
+// call to a method documented as entry-held + released-on-return
+// transfers the lock out of the caller.
+//
+// Reports fire only on error exits — paths through an `err != nil`
+// guard or returns yielding a non-nil error — because that is the
+// blind spot: happy-path leaks survive agreement across branches and
+// lockhold already rejects them. Panic paths are exempt.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var Errpath = &Analyzer{
+	Name: "errpath",
+	Doc: "report locks, shard locks and snapshot handles still held at an " +
+		"early error return, with the concrete leaking path (acquisition, " +
+		"error guard, return) printed in each diagnostic; supersedes the " +
+		"cases lockhold's intersection joins had to suppress",
+	RunProject: runErrpath,
+}
+
+func runErrpath(pass *ProjectPass) error {
+	return runLifecycle(pass, &lifeSpec{
+		name:         "errpath",
+		kind:         "lock",
+		leakVerb:     "is still held",
+		classify:     classifyErrpath,
+		closers:      map[string]bool{"Release": true},
+		entryOpen:    errpathEntryOpen,
+		exitAllowed:  errpathExitAllowed,
+		errExitsOnly: true,
+	})
+}
+
+func classifyErrpath(e *lifeEngine, call *ast.CallExpr) []lifeEvent {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	info := e.pkg.Info
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if t := info.TypeOf(sel.X); t != nil && isMutex(t) {
+			return []lifeEvent{{op: lifeOpen, res: exprString(sel.X),
+				cond: condAlways, what: exprString(call)}}
+		}
+	case "Unlock", "RUnlock":
+		if t := info.TypeOf(sel.X); t != nil && isMutex(t) {
+			return []lifeEvent{{op: lifeClose, res: exprString(sel.X)}}
+		}
+	case "Snapshot":
+		// Handle-style acquisition: the result owns a Release.
+		if len(call.Args) == 0 && resultHasRelease(info, call) {
+			return []lifeEvent{{op: lifeOpen, res: "", // bound to the assignment target
+				cond: condAlways, what: exprString(call), kind: "snapshot"}}
+		}
+	case "Release":
+		if len(call.Args) == 0 {
+			return []lifeEvent{{op: lifeClose, res: exprString(sel.X)}}
+		}
+	default:
+		// A callee documented "mu held on entry, released on return"
+		// takes the lock with it.
+		if key, ok := e.calleeKey(call); ok {
+			if sum := e.prog.Funcs[key]; sum != nil && sum.Decl != nil && sum.Decl.Doc != nil {
+				doc := sum.Decl.Doc.Text()
+				if entryHeldRe.MatchString(doc) && releasedRe.MatchString(doc) {
+					return []lifeEvent{{op: lifeClose, res: exprString(sel.X) + ".mu"}}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// resultHasRelease reports whether the call's (single) result type has
+// a Release method.
+func resultHasRelease(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.Tuple); ok {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Release")
+	fn, ok := obj.(*types.Func)
+	return ok && fn != nil
+}
+
+// errpathEntryOpen reads the function's lock contract: "Requires mu
+// held" opens the receiver's mu, "Requires sh.mu held" the parameter's.
+func errpathEntryOpen(e *lifeEngine) []string {
+	fd := e.sum.Decl
+	if fd.Doc == nil {
+		return nil
+	}
+	doc := fd.Doc.Text()
+	var open []string
+	if entryHeldRe.MatchString(doc) && fd.Recv != nil &&
+		len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		open = append(open, fd.Recv.List[0].Names[0].Name+".mu")
+	}
+	for _, m := range paramHeldRe.FindAllStringSubmatch(doc, -1) {
+		open = append(open, m[1]+".mu")
+	}
+	return open
+}
+
+// errpathExitAllowed licenses exiting with an entry-held lock still
+// held, unless the contract demands it released on return.
+func errpathExitAllowed(e *lifeEngine, res string) bool {
+	fd := e.sum.Decl
+	if fd.Doc == nil {
+		return false
+	}
+	doc := fd.Doc.Text()
+	if releasedRe.MatchString(doc) {
+		return false
+	}
+	for _, r := range errpathEntryOpen(e) {
+		if r == res {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package analyzers
+
+import "testing"
+
+func TestErrpath(t *testing.T) {
+	diags := runFixture(t, "errpath", Errpath)
+	// Regression pins: plain mutex, shard lock, read lock, snapshot
+	// handle — each leaked on an error return, with a concrete path.
+	mustDiag(t, diags, "errpath", `lock on s\.mu taken at .* is still held on an error path.*path: `)
+	mustDiag(t, diags, "errpath", `lock on sh\.mu taken at .* is still held on an error path`)
+	mustDiag(t, diags, "errpath", `lock on s\.rw taken at .* is still held on an error path`)
+	mustDiag(t, diags, "errpath", `snapshot on snap taken at .* is still held on an error path`)
+}

@@ -15,11 +15,16 @@ package analyzers
 // Two deliberate approximations keep the layer sound for its clients
 // without a full abstract interpreter:
 //
-//   - Held-lock sets are flow-approximate: straight-line Lock/Unlock
-//     tracking, branch joins by intersection (a lock counts as held
+//   - The summary walker's held-lock sets use straight-line Lock/Unlock
+//     tracking with branch joins by intersection (a lock counts as held
 //     after an if only when both arms kept it), deferred Unlocks treated
 //     as "held until return". Disagreement therefore drops locks, which
-//     can only suppress lock-order edges, never invent them.
+//     can only suppress lock-order edges, never invent them. Questions
+//     intersection cannot answer — "is this resource released on every
+//     path, including the early error returns?" — belong to the
+//     path-sensitive CFG engine in cfg.go/dataflow.go, which the
+//     pinbalance, claimlife and errpath passes run over the per-function
+//     graphs cached here (FuncCFG).
 //   - Only statically resolvable calls propagate: a call through an
 //     interface or a function value contributes no edge. That is the
 //     sanctioned escape hatch (trace.Clock exists exactly so the
@@ -172,6 +177,12 @@ type Summary struct {
 	// ClaimCalls lists claimword transition helpers this function
 	// invokes (Claim, Commit, Settle, Pin, Unpin, ConsumePrefetch).
 	ClaimCalls []string
+	// ResOps lists the paired-resource operation names this function
+	// calls directly (Pin/Unpin, claim/commit/settle, Release and
+	// their case variants). The lifecycle passes use the transitive
+	// closure (TransResOps) to recognize a release performed by a
+	// callee at any call depth.
+	ResOps []string
 
 	// EntryHeld are lock classes the doc contract declares held on
 	// entry ("Requires mu held", "Requires sh.mu held").
@@ -197,6 +208,32 @@ type Program struct {
 	tainted  map[FuncKey]string // key → witness source ("" = clean)
 	shutdown map[FuncKey]bool
 	transAcq map[FuncKey]map[LockClass]bool
+	transRes map[FuncKey]map[string]bool
+	cfgs     map[FuncKey]*CFG // per-function CFGs, built once, shared by all passes
+}
+
+// FuncCFG returns the function's control-flow graph, building it on
+// first request and caching it for every subsequent pass in the same
+// RunProject call (the loader-perf contract: three path-sensitive
+// passes, one CFG construction).
+func (p *Program) FuncCFG(k FuncKey) *CFG {
+	if c, ok := p.cfgs[k]; ok {
+		return c
+	}
+	var c *CFG
+	if s := p.Funcs[k]; s != nil {
+		c = NewCFG(s.Decl)
+	}
+	p.cfgs[k] = c
+	return c
+}
+
+// resOpNames is the paired-resource operation vocabulary recorded into
+// Summary.ResOps: the pin, claim-word and handle lifecycles.
+var resOpNames = map[string]bool{
+	"Pin": true, "pin": true, "Unpin": true, "unpin": true,
+	"Claim": true, "claim": true, "Commit": true, "commit": true,
+	"Settle": true, "settle": true, "Release": true,
 }
 
 // claimTransitions are internal/claimword's pure transition functions.
@@ -212,6 +249,7 @@ func BuildProgram(pkgs []*Package) *Program {
 	prog := &Program{
 		Pkgs:  pkgs,
 		Funcs: make(map[FuncKey]*Summary),
+		cfgs:  make(map[FuncKey]*CFG),
 	}
 	if len(pkgs) > 0 {
 		prog.Fset = pkgs[0].Fset
@@ -237,6 +275,7 @@ func BuildProgram(pkgs []*Package) *Program {
 	prog.closeTaint()
 	prog.closeShutdown()
 	prog.closeAcquires()
+	prog.closeResOps()
 	return prog
 }
 
@@ -586,6 +625,9 @@ func (w *sumWalker) call(call *ast.CallExpr, held map[LockClass]bool) {
 	if claimTransitions[fn.Name()] && fn.Pkg() != nil && isClaimwordPath(fn.Pkg().Path()) {
 		w.sum.ClaimCalls = append(w.sum.ClaimCalls, fn.Name())
 	}
+	if resOpNames[fn.Name()] {
+		w.sum.ResOps = append(w.sum.ResOps, fn.Name())
+	}
 	if key, ok := keyOf(fn); ok {
 		w.sum.Calls = append(w.sum.Calls, callSite{pos: call.Pos(), callee: key, held: heldList(held)})
 	}
@@ -863,3 +905,36 @@ func (p *Program) TransAcquires(k FuncKey) []LockClass {
 	}
 	return heldList(m)
 }
+
+// closeResOps: transitive paired-resource operation sets — every
+// Pin/Unpin/claim/commit/settle/Release a call into the function may
+// perform at any depth. The lifecycle passes consult this to credit a
+// release done by a callee.
+func (p *Program) closeResOps() {
+	p.transRes = make(map[FuncKey]map[string]bool)
+	for _, k := range p.Order {
+		set := make(map[string]bool)
+		for _, op := range p.Funcs[k].ResOps {
+			set[op] = true
+		}
+		p.transRes[k] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range p.Order {
+			set := p.transRes[k]
+			for _, c := range p.Funcs[k].Calls {
+				for op := range p.transRes[c.callee] {
+					if !set[op] {
+						set[op] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// TransResOps returns the paired-resource operations the function may
+// perform at any call depth.
+func (p *Program) TransResOps(k FuncKey) map[string]bool { return p.transRes[k] }

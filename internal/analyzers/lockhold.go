@@ -21,6 +21,13 @@ import (
 //     is exempt — it releases the mutex while parked.
 //   - return paths that leak a held lock.
 //
+// The walker here joins branches by agreement: when two arms disagree
+// about a mutex the state degrades to lsUnknown and reports stop.
+// That keeps this pass quiet on release-on-one-arm shapes — exactly
+// the `if err != nil { return err }` leak — which are errpath's
+// jurisdiction now: the CFG engine (cfg.go, dataflow.go) re-checks
+// every lock per path and reports the concrete leaking trace.
+//
 // Unexported helpers that run under the caller's lock declare it in
 // their doc comment, and the analyzer honors those contracts: a doc
 // matching "Requires mu held" or "mu held on entry" starts the

@@ -1,0 +1,11 @@
+package analyzers
+
+import "testing"
+
+func TestPinbalance(t *testing.T) {
+	diags := runFixture(t, "pinbalance", Pinbalance)
+	// Regression pins: one per leak shape.
+	mustDiag(t, diags, "pinbalance", `pin on st taken at .* is not released on an error path`)
+	mustDiag(t, diags, "pinbalance", `pin on b taken at .* is not released on an error path`)
+	mustDiag(t, diags, "pinbalance", `pin on b taken at .* is not released on a path`)
+}

@@ -172,3 +172,64 @@ func seededDecide() int64 {
 	mustDiag(t, diags, "determinism",
 		`call to trace\.SeededStamp reaches time\.Now at some call depth`)
 }
+
+// TestPinbalanceSeededLeak: a helper that pins a real tensor.State and
+// then error-returns without the balancing Unpin — the silent
+// pin-budget shrink pinbalance exists for — trips the pass inside the
+// real internal/memory package.
+func TestPinbalanceSeededLeak(t *testing.T) {
+	tmp := copyModule(t)
+	seedFile(t, tmp, "internal/memory/seeded.go", `package memory
+
+import "harmony/internal/hw"
+
+// seededWarm pre-pins a tensor and marks it dirty on dev; the
+// MarkDirty failure returns early and leaks the pin, shrinking the
+// device budget for the rest of the run.
+func (m *Manager) seededWarm(id int, dev hw.DeviceID) error {
+	st := m.states[id]
+	if err := st.Pin(); err != nil {
+		return err
+	}
+	if err := st.MarkDirty(dev); err != nil {
+		return err
+	}
+	return st.Unpin()
+}
+`)
+	diags := runSeeded(t, tmp, Pinbalance, "./internal/memory")
+	mustDiag(t, diags, "pinbalance",
+		`pin on st taken at seeded\.go:\d+ is not released on an error path`)
+}
+
+// TestClaimlifeSeededLeak: a claim on a real exec buffer that reaches
+// neither commit nor settle on an audit-failure return — every waiter
+// on the claim's channel parks forever — trips claimlife inside the
+// real internal/exec package.
+func TestClaimlifeSeededLeak(t *testing.T) {
+	tmp := copyModule(t)
+	seedFile(t, tmp, "internal/exec/seeded.go", `package exec
+
+import (
+	"fmt"
+
+	"harmony/internal/claimword"
+)
+
+// seededFlush claims b for a write-back, then bails on a budget check
+// before either commit or settle: b is stuck claimed.
+func (vm *VM) seededFlush(b *buffer, budget int) error {
+	if !vm.claim(b, claimword.SwapOut, false, true, claimword.NeedIdle) {
+		return nil
+	}
+	if budget <= 0 {
+		return fmt.Errorf("exec: write-back of %s over budget", b.t)
+	}
+	vm.settle(b, false, 0)
+	return nil
+}
+`)
+	diags := runSeeded(t, tmp, Claimlife, "./internal/exec")
+	mustDiag(t, diags, "claimlife",
+		`claim on b taken at seeded\.go:\d+ is neither committed, settled nor handed off on an error path`)
+}

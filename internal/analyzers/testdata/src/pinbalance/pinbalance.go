@@ -1,0 +1,177 @@
+// Package pinbalance is the fixture for the pinbalance analyzer: every
+// pin must be released, handed off, or covered by a documented
+// ownership contract on every CFG path, including early error returns.
+package pinbalance
+
+import "errors"
+
+// state mirrors tensor.State: pin accounting on a pointer receiver,
+// success signaled by error.
+type state struct {
+	pins int
+	big  bool
+}
+
+func (st *state) Pin() error {
+	if st.pins < 0 {
+		return errors.New("evicting")
+	}
+	st.pins++
+	return nil
+}
+
+func (st *state) Unpin() error {
+	if st.pins == 0 {
+		return errors.New("not pinned")
+	}
+	st.pins--
+	return nil
+}
+
+// buffer and vmLike mirror the exec VM's bool-style pin helpers.
+type buffer struct {
+	pins int
+}
+
+type vmLike struct{}
+
+func (vm *vmLike) pin(b *buffer, need int) bool {
+	b.pins++
+	return true
+}
+
+func (vm *vmLike) unpin(b *buffer) {
+	b.pins--
+}
+
+func (vm *vmLike) settle(b *buffer, resident bool, pinDelta int) {
+	b.pins += pinDelta
+}
+
+// ---------------------------------------------------------------- clean
+
+// balanced pins and unpins on the happy path; the failed-Pin path never
+// held the pin, so nothing leaks.
+func balanced(st *state) error {
+	if err := st.Pin(); err != nil {
+		return err
+	}
+	st.big = true
+	return st.Unpin()
+}
+
+// deferred releases through defer, so every return — including the
+// error one — is balanced.
+func deferred(st *state, bad bool) error {
+	if err := st.Pin(); err != nil {
+		return err
+	}
+	defer st.Unpin()
+	if bad {
+		return errors.New("mid-flight failure")
+	}
+	return nil
+}
+
+// releaseDepth pins here and releases inside a helper: balance must be
+// recognized at any call depth through the ResOps closure.
+func releaseDepth(st *state) error {
+	if err := st.Pin(); err != nil {
+		return err
+	}
+	drop(st)
+	return nil
+}
+
+func drop(st *state) {
+	_ = st.Unpin()
+}
+
+// handoff transfers the pinned state into a long-lived structure whose
+// owner releases it later; storing ends this function's obligation.
+type ledger struct {
+	pinned []*state
+}
+
+func handoff(l *ledger, st *state) error {
+	if err := st.Pin(); err != nil {
+		return err
+	}
+	l.pinned = append(l.pinned, st)
+	return nil
+}
+
+// returned hands the pinned state back to the caller: returning the
+// resource is a handoff, so no contract is needed.
+func returned(st *state) (*state, error) {
+	if err := st.Pin(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// warm pre-loads the state and pins it; the caller owns the pin and
+// releases it via Unpin. The "pins it" contract licenses the open exit.
+func warm(st *state) error {
+	if err := st.Pin(); err != nil {
+		return err
+	}
+	st.big = false
+	return nil
+}
+
+// -------------------------------------------------------------- leaks
+
+// leakOnError takes the pin, then an unrelated failure returns early
+// without releasing: the pin-budget leak the analyzer exists for.
+func leakOnError(st *state) error {
+	if err := st.Pin(); err != nil { // want `pin on st taken at .* is not released on an error path`
+		return err
+	}
+	if st.big {
+		return errors.New("over budget")
+	}
+	return st.Unpin()
+}
+
+// leakAtDepth passes the pinned state to a helper that does NOT
+// release it — a resolvable callee is transparent, not a handoff, so
+// the error return still leaks.
+func leakAtDepth(st *state) error {
+	if err := st.Pin(); err != nil { // want `pin on st taken at .* is not released on an error path`
+		return err
+	}
+	touch(st)
+	if st.big {
+		return errors.New("over budget")
+	}
+	return st.Unpin()
+}
+
+func touch(st *state) {
+	st.big = !st.big
+}
+
+// leakBoolPin uses the VM-style bool pin: the success edge of the
+// guard holds the pin, and the early return drops it.
+func leakBoolPin(vm *vmLike, b *buffer, bad bool) error {
+	if !vm.pin(b, 1) { // want `pin on b taken at .* is not released on an error path`
+		return nil
+	}
+	if bad {
+		return errors.New("rollback")
+	}
+	vm.unpin(b)
+	return nil
+}
+
+// leakSettleDelta materializes a pin through settle's +1 delta and
+// then leaks it on a non-error return; pinbalance is not limited to
+// error exits.
+func leakSettleDelta(vm *vmLike, b *buffer, keep bool) {
+	vm.settle(b, true, +1) // want `pin on b taken at .* is not released on a path`
+	if keep {
+		return
+	}
+	vm.unpin(b)
+}

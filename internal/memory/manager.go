@@ -589,7 +589,9 @@ func (m *Manager) pump(d *devShard) {
 
 // advance tries to move one acquire forward. It returns granted=true
 // when the acquire is fully satisfied, and progress=true if it
-// changed any state (so the pump loop re-evaluates). Requires mu held.
+// changed any state (so the pump loop re-evaluates). Pins taken here
+// are owned by the acquire and released when the task calls Release.
+// Requires mu held.
 func (m *Manager) advance(a *acquire) (granted, progress bool) {
 	d := a.dev
 	dev := d.dev.ID
